@@ -1,0 +1,49 @@
+"""ABL-LCA -- ablation: the LCA-query cache on vs off.
+
+The paper: "We cache the frequently accessed LCA queries to reduce the
+overhead of repeated traversals in the DPST", and Table 1's %-unique
+column explains why kmeans/raycast benefit least.  This benchmark times
+the optimized checker with the memo table enabled and disabled on the
+three most query-heavy workloads plus blackscholes (control: no queries
+at all, so the configurations must tie).
+"""
+
+import pytest
+
+from repro.bench.harness import run_once
+from repro.workloads import get
+
+#: High-query workloads plus the zero-query control.
+TARGETS = ["kmeans", "raycast", "fluidanimate", "sort", "blackscholes"]
+SCALE = 2
+
+
+@pytest.mark.parametrize("name", TARGETS)
+def test_lca_cache_enabled(benchmark, name):
+    spec = get(name)
+    benchmark.extra_info["cache"] = "on"
+
+    def run():
+        result = run_once(spec.build(SCALE), "optimized", lca_cache=True)
+        assert not result.report()
+        return result
+
+    result = benchmark(run)
+    benchmark.extra_info["unique_pct"] = (
+        round(100 * result.stats.lca_unique / result.stats.lca_queries, 2)
+        if result.stats.lca_queries
+        else None
+    )
+
+
+@pytest.mark.parametrize("name", TARGETS)
+def test_lca_cache_disabled(benchmark, name):
+    spec = get(name)
+    benchmark.extra_info["cache"] = "off"
+
+    def run():
+        result = run_once(spec.build(SCALE), "optimized", lca_cache=False)
+        assert not result.report()
+        return result
+
+    benchmark(run)

@@ -1,0 +1,50 @@
+"""ABL-META -- ablation: fixed 12+2-entry metadata vs unbounded history.
+
+Times the optimized checker against the basic (Figure 3) checker on the
+same workloads and records the stored-metadata sizes: the basic history
+grows with the number of dynamic accesses while the optimized global
+space is capped at 12 entries per location -- the paper's Section 3.2
+motivation, measured.
+"""
+
+import pytest
+
+from repro.checker import BasicAtomicityChecker, OptAtomicityChecker
+from repro.runtime import run_program
+from repro.workloads import get
+
+#: A spread of access-density profiles.
+TARGETS = ["sort", "karatsuba", "kmeans", "bodytrack"]
+SCALE = 2
+
+
+@pytest.mark.parametrize("name", TARGETS)
+def test_optimized_fixed_metadata(benchmark, name):
+    spec = get(name)
+    benchmark.extra_info["checker"] = "optimized"
+
+    def run():
+        checker = OptAtomicityChecker()
+        run_program(spec.build(SCALE), observers=[checker])
+        return checker
+
+    checker = benchmark(run)
+    benchmark.extra_info["max_entries_per_location"] = (
+        checker.max_entries_per_location()
+    )
+    benchmark.extra_info["total_global_entries"] = checker.total_global_entries()
+    assert checker.max_entries_per_location() <= 12
+
+
+@pytest.mark.parametrize("name", TARGETS)
+def test_basic_unbounded_metadata(benchmark, name):
+    spec = get(name)
+    benchmark.extra_info["checker"] = "basic"
+
+    def run():
+        checker = BasicAtomicityChecker()
+        run_program(spec.build(SCALE), observers=[checker])
+        return checker
+
+    checker = benchmark(run)
+    benchmark.extra_info["total_history_entries"] = checker.total_history_entries()

@@ -1,0 +1,89 @@
+"""Microbenchmarks: raw DPST operation costs under both layouts.
+
+Isolates what Figure 14 aggregates -- node insertion and LCA/parallelism
+query cost for the array overlay vs the linked representation -- without
+any checker or runtime on top.
+"""
+
+import random
+
+import pytest
+
+from repro.dpst import ArrayDPST, LCAEngine, LinkedDPST, NodeKind, ROOT_ID
+
+LAYOUTS = {"array": ArrayDPST, "linked": LinkedDPST}
+
+
+def build_wide_deep(tree, fanout=8, depth=5):
+    """A finish/async comb with `fanout**...` steps down `depth` levels."""
+    frontier = [ROOT_ID]
+    steps = []
+    for _ in range(depth):
+        parent = frontier[len(frontier) // 2]
+        finish = tree.add_node(parent, NodeKind.FINISH)
+        next_frontier = []
+        for _ in range(fanout):
+            async_node = tree.add_node(finish, NodeKind.ASYNC)
+            steps.append(tree.add_node(async_node, NodeKind.STEP))
+            next_frontier.append(async_node)
+        frontier = next_frontier
+    return steps
+
+
+@pytest.mark.parametrize("layout", sorted(LAYOUTS))
+def test_insertion(benchmark, layout):
+    make = LAYOUTS[layout]
+    benchmark.extra_info["layout"] = layout
+
+    def run():
+        tree = make()
+        parent = ROOT_ID
+        for _ in range(200):
+            finish = tree.add_node(parent, NodeKind.FINISH)
+            tree.add_node(finish, NodeKind.STEP)
+            async_node = tree.add_node(finish, NodeKind.ASYNC)
+            tree.add_node(async_node, NodeKind.STEP)
+            parent = finish
+        return len(tree)
+
+    assert benchmark(run) == 801
+
+
+@pytest.mark.parametrize("layout", sorted(LAYOUTS))
+def test_uncached_parallel_queries(benchmark, layout):
+    tree = LAYOUTS[layout]()
+    steps = build_wide_deep(tree)
+    rng = random.Random(1)
+    pairs = [(rng.choice(steps), rng.choice(steps)) for _ in range(500)]
+    benchmark.extra_info["layout"] = layout
+
+    def run():
+        engine = LCAEngine(tree, cache=False)
+        hits = 0
+        for a, b in pairs:
+            if engine.parallel(a, b):
+                hits += 1
+        return hits
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("layout", sorted(LAYOUTS))
+def test_cached_parallel_queries(benchmark, layout):
+    tree = LAYOUTS[layout]()
+    steps = build_wide_deep(tree)
+    rng = random.Random(1)
+    # Heavy repetition: the regime the LCA cache targets.
+    pool = [(rng.choice(steps), rng.choice(steps)) for _ in range(50)]
+    pairs = [rng.choice(pool) for _ in range(500)]
+    benchmark.extra_info["layout"] = layout
+
+    def run():
+        engine = LCAEngine(tree, cache=True)
+        hits = 0
+        for a, b in pairs:
+            if engine.parallel(a, b):
+                hits += 1
+        return hits
+
+    benchmark(run)

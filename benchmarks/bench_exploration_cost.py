@@ -1,0 +1,57 @@
+"""ABL-EXPLORE -- single-trace checking vs Velodrome + exploration.
+
+The paper argues trace-based checkers "should be used in tandem with
+interleaving exploration strategies" to match its coverage.  This
+benchmark makes the cost of that tandem measurable: the optimized checker
+runs once per program; the exploring Velodrome replays every legal
+schedule (factorially many in the task count).  The crossover -- where
+one pass beats exhaustive replay -- is already at two parallel tasks.
+"""
+
+import pytest
+
+from repro.checker import ExploringVelodrome, OptAtomicityChecker
+from repro.runtime import TaskProgram, run_program
+
+
+def fanout_program(tasks: int) -> TaskProgram:
+    def rmw(ctx):
+        value = ctx.read("X")
+        ctx.write("X", value + 1)
+
+    def main(ctx):
+        for _ in range(tasks):
+            ctx.spawn(rmw)
+        ctx.sync()
+
+    return TaskProgram(main, name=f"fanout{tasks}", initial_memory={"X": 0})
+
+
+TASK_COUNTS = [2, 3, 4]
+
+
+@pytest.mark.parametrize("tasks", TASK_COUNTS)
+def test_optimized_single_pass(benchmark, tasks):
+    benchmark.extra_info["analysis"] = "optimized"
+
+    def run():
+        checker = OptAtomicityChecker()
+        run_program(fanout_program(tasks), observers=[checker])
+        assert checker.report.locations() == ["X"]
+        return checker
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("tasks", TASK_COUNTS)
+def test_velodrome_with_exploration(benchmark, tasks):
+    benchmark.extra_info["analysis"] = "velodrome+explorer"
+
+    def run():
+        exploring = ExploringVelodrome(max_schedules=100_000)
+        run_program(fanout_program(tasks), observers=[exploring])
+        assert exploring.violation_locations() == {"X"}
+        return exploring
+
+    exploring = benchmark(run)
+    benchmark.extra_info["schedules_explored"] = exploring.schedules_explored

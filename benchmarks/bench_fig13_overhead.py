@@ -1,0 +1,44 @@
+"""FIG13 -- checking overhead: optimized checker vs Velodrome.
+
+Three timed configurations per workload (uninstrumented baseline, the
+optimized checker, the Velodrome reimplementation).  The slowdown ratios
+these produce are the bars of Figure 13; compare with
+``python -m repro.bench.fig13`` for the rendered table including the
+geometric mean (paper: 4.2x ours vs 4.6x Velodrome).
+"""
+
+import pytest
+
+from repro.bench.harness import run_once
+
+from benchmarks.conftest import BENCH_SCALE, workload_params
+
+
+@pytest.mark.parametrize("spec", workload_params())
+def test_baseline(benchmark, spec):
+    benchmark.extra_info["config"] = "baseline"
+    benchmark(lambda: run_once(spec.build(BENCH_SCALE), "baseline"))
+
+
+@pytest.mark.parametrize("spec", workload_params())
+def test_optimized_checker(benchmark, spec):
+    benchmark.extra_info["config"] = "optimized"
+
+    def run():
+        result = run_once(spec.build(BENCH_SCALE), "optimized")
+        assert not result.report()
+        return result
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("spec", workload_params())
+def test_velodrome_checker(benchmark, spec):
+    benchmark.extra_info["config"] = "velodrome"
+
+    def run():
+        result = run_once(spec.build(BENCH_SCALE), "velodrome")
+        assert not result.report()
+        return result
+
+    benchmark(run)

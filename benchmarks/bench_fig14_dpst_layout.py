@@ -1,0 +1,29 @@
+"""FIG14 -- array-based vs linked DPST layouts.
+
+The optimized checker timed under both DPST representations.  The paper's
+array overlay (flat parent-index arrays, no per-node allocation) reduced
+geomean overhead from 5.1x to 4.2x; compare the two parametrized timings
+here, or run ``python -m repro.bench.fig14`` for the rendered figure.
+"""
+
+import pytest
+
+from repro.bench.harness import run_once
+
+from benchmarks.conftest import BENCH_SCALE, workload_params
+
+
+@pytest.mark.parametrize("spec", workload_params())
+def test_array_dpst(benchmark, spec):
+    benchmark.extra_info["layout"] = "array"
+    benchmark(
+        lambda: run_once(spec.build(BENCH_SCALE), "optimized", dpst_layout="array")
+    )
+
+
+@pytest.mark.parametrize("spec", workload_params())
+def test_linked_dpst(benchmark, spec):
+    benchmark.extra_info["layout"] = "linked"
+    benchmark(
+        lambda: run_once(spec.build(BENCH_SCALE), "optimized", dpst_layout="linked")
+    )

@@ -1,0 +1,76 @@
+"""ABL-LABELS -- parallelism oracle comparison: LCA walks vs labels.
+
+The paper's approach answers parallelism queries with (cached) LCA tree
+walks over the array DPST; the older Mellor-Crummey lineage attaches
+labels and compares them.  This ablation times the optimized checker
+under both engines, and micro-benchmarks the raw query primitives, making
+the paper's design choice inspectable: labels pay O(depth) memory per
+node and O(prefix) comparisons, walks pay pointer/index chasing.
+"""
+
+import random
+
+import pytest
+
+from repro.checker import OptAtomicityChecker
+from repro.dpst import ArrayDPST, LCAEngine, NodeKind, ROOT_ID
+from repro.dpst.labels import LabelEngine
+from repro.runtime import run_program
+from repro.workloads import get
+
+ENGINES = ["lca", "labels"]
+TARGETS = ["kmeans", "sort", "fluidanimate"]
+SCALE = 2
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("name", TARGETS)
+def test_checker_under_engine(benchmark, name, engine):
+    spec = get(name)
+    benchmark.extra_info["engine"] = engine
+
+    def run():
+        checker = OptAtomicityChecker()
+        result = run_program(
+            spec.build(SCALE), observers=[checker], parallel_engine=engine
+        )
+        assert not result.report()
+        return result
+
+    benchmark(run)
+
+
+def _deep_tree(depth=48, width=4):
+    """A deep comb so label length / walk distance actually matter."""
+    tree = ArrayDPST()
+    steps = []
+    parent = ROOT_ID
+    for _ in range(depth):
+        finish = tree.add_node(parent, NodeKind.FINISH)
+        for _ in range(width):
+            async_node = tree.add_node(finish, NodeKind.ASYNC)
+            steps.append(tree.add_node(async_node, NodeKind.STEP))
+        parent = finish
+    return tree, steps
+
+
+@pytest.mark.parametrize("engine_name", ENGINES)
+def test_raw_query_cost(benchmark, engine_name):
+    tree, steps = _deep_tree()
+    rng = random.Random(7)
+    pairs = [(rng.choice(steps), rng.choice(steps)) for _ in range(400)]
+    benchmark.extra_info["engine"] = engine_name
+
+    def run():
+        engine = (
+            LCAEngine(tree, cache=False)
+            if engine_name == "lca"
+            else LabelEngine(tree, cache=False)
+        )
+        hits = 0
+        for a, b in pairs:
+            if engine.parallel(a, b):
+                hits += 1
+        return hits
+
+    benchmark(run)

@@ -1,0 +1,58 @@
+"""ABL-RACE -- race detection vs atomicity checking cost.
+
+The paper's analysis generalizes DPST-based race detection (SPD3): both
+walk the same tree, but the atomicity checker maintains 12+2 metadata
+entries and pattern checks where the race detector keeps 3 shadow slots.
+This benchmark quantifies the increment on the same workloads.
+"""
+
+import pytest
+
+from repro.checker import OptAtomicityChecker, RaceDetector
+from repro.runtime import run_program
+from repro.workloads import get
+
+TARGETS = ["sort", "kmeans", "fluidanimate", "bodytrack"]
+SCALE = 2
+
+
+@pytest.mark.parametrize("name", TARGETS)
+def test_race_detector(benchmark, name):
+    spec = get(name)
+    benchmark.extra_info["analysis"] = "racedetector"
+
+    def run():
+        detector = RaceDetector()
+        run_program(spec.build(SCALE), observers=[detector])
+        return detector
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("name", TARGETS)
+def test_atomicity_checker(benchmark, name):
+    spec = get(name)
+    benchmark.extra_info["analysis"] = "optimized"
+
+    def run():
+        checker = OptAtomicityChecker()
+        run_program(spec.build(SCALE), observers=[checker])
+        assert not checker.report
+        return checker
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("name", TARGETS)
+def test_both_together(benchmark, name):
+    """One execution can feed both analyses (the observer design)."""
+    spec = get(name)
+    benchmark.extra_info["analysis"] = "race+atomicity"
+
+    def run():
+        detector = RaceDetector()
+        checker = OptAtomicityChecker()
+        run_program(spec.build(SCALE), observers=[detector, checker])
+        return checker
+
+    benchmark(run)

@@ -1,0 +1,61 @@
+"""ABL-SCALE -- how checking overhead scales with input size.
+
+Sweeps three workloads across input scales and records absolute times for
+baseline and checker.  The paper's fixed-size metadata implies per-access
+checking cost should stay roughly constant as inputs grow (no history to
+scan); the basic checker's cost grows with history length, which the
+sweep exposes on the RMW-heavy kernels.
+"""
+
+import pytest
+
+from repro.bench.harness import run_once
+from repro.checker import BasicAtomicityChecker, OptAtomicityChecker
+from repro.runtime import run_program
+from repro.workloads import get
+
+SWEEP = [
+    ("sort", 1),
+    ("sort", 2),
+    ("sort", 4),
+    ("kmeans", 1),
+    ("kmeans", 2),
+    ("kmeans", 4),
+    ("raycast", 1),
+    ("raycast", 2),
+    ("raycast", 4),
+]
+
+IDS = [f"{name}-x{scale}" for name, scale in SWEEP]
+
+
+@pytest.mark.parametrize("name,scale", SWEEP, ids=IDS)
+def test_optimized_scaling(benchmark, name, scale):
+    spec = get(name)
+    benchmark.extra_info["checker"] = "optimized"
+    benchmark.extra_info["scale"] = scale
+
+    def run():
+        result = run_once(spec.build(scale), "optimized")
+        assert not result.report()
+        return result
+
+    result = benchmark(run)
+    benchmark.extra_info["accesses"] = result.stats.memory_events
+
+
+@pytest.mark.parametrize("name,scale", SWEEP, ids=IDS)
+def test_basic_scaling(benchmark, name, scale):
+    """The unbounded-history reference, for the growth contrast."""
+    spec = get(name)
+    benchmark.extra_info["checker"] = "basic"
+    benchmark.extra_info["scale"] = scale
+
+    def run():
+        checker = BasicAtomicityChecker()
+        run_program(spec.build(scale), observers=[checker])
+        assert not checker.report
+        return checker
+
+    checker = benchmark(run)
+    benchmark.extra_info["history_entries"] = checker.total_history_entries()

@@ -1,0 +1,43 @@
+"""TAB1 -- Table 1: per-benchmark characteristics under checking.
+
+Times each workload under the optimized checker (the configuration whose
+locations / DPST nodes / LCA queries / %unique Table 1 reports) and
+asserts the qualitative properties the paper highlights.  The collected
+counters are attached to each benchmark's ``extra_info`` so the JSON
+output contains the full reproduced table.
+"""
+
+import pytest
+
+from repro.bench.harness import run_once
+from repro.checker import OptAtomicityChecker
+from repro.runtime import run_program
+
+from benchmarks.conftest import BENCH_SCALE, workload_params
+
+
+@pytest.mark.parametrize("spec", workload_params())
+def test_table1_row(benchmark, spec):
+    program_factory = lambda: spec.build(BENCH_SCALE)
+
+    def run():
+        return run_program(
+            program_factory(), observers=[OptAtomicityChecker()], collect_stats=True
+        )
+
+    result = benchmark(run)
+    stats = result.stats
+    benchmark.extra_info["locations"] = result.shadow.unique_locations
+    benchmark.extra_info["dpst_nodes"] = stats.dpst_nodes
+    benchmark.extra_info["lca_queries"] = stats.lca_queries
+    benchmark.extra_info["unique_lca_pct"] = round(stats.unique_lca_percent, 2)
+    benchmark.extra_info["paper_locations"] = spec.paper.locations
+    benchmark.extra_info["paper_nodes"] = spec.paper.nodes
+    benchmark.extra_info["paper_lcas"] = spec.paper.lcas
+    # The kernels are the overhead benchmarks: they must stay clean.
+    assert not result.report()
+    # Table 1's signature blackscholes property.
+    if spec.name == "blackscholes":
+        assert stats.lca_queries == 0
+    else:
+        assert stats.lca_queries > 0

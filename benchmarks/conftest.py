@@ -1,0 +1,23 @@
+"""Shared configuration for the pytest-benchmark suite.
+
+Each benchmark module regenerates one of the paper's evaluation artifacts
+(see DESIGN.md's experiment index).  ``--benchmark-only`` runs just these;
+plain test runs skip them because of the ``benchmark`` fixture.
+
+The scale is kept small so the whole suite completes in minutes; pass a
+larger scale to the ``python -m repro.bench.*`` entry points for
+higher-fidelity runs.
+"""
+
+import pytest
+
+from repro.workloads import all_workloads
+
+#: Input scale used across the pytest benchmarks.
+BENCH_SCALE = 2
+
+
+def workload_params():
+    """(ids, specs) for parametrizing one benchmark per workload."""
+    specs = all_workloads()
+    return [pytest.param(spec, id=spec.name) for spec in specs]

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Multi-variable atomicity: the bank-transfer snapshot bug.
+
+An auditor task reads both halves of an account (checking, then savings)
+expecting a consistent snapshot, while a transfer task moves money between
+them.  No *single* location is ever accessed twice by one step, so
+per-variable checking finds nothing -- but annotating the two balances as
+one atomic *group* (the paper's multi-variable support: "our approach
+provides the same metadata to all those locations") exposes the torn read.
+
+Run: ``python examples/bank_transfer.py``
+"""
+
+from repro import AtomicAnnotations, OptAtomicityChecker, TaskProgram, run_program
+
+
+def auditor(ctx):
+    """Reads the two balances; the sum should be invariant (200)."""
+    checking = ctx.read("checking")
+    savings = ctx.read("savings")
+    ctx.write(("audit_total", ctx.task_id), checking + savings)
+
+
+def transfer(ctx):
+    """Moves 50 from checking to savings: two writes, one step."""
+    ctx.add("checking", -50)
+    ctx.add("savings", +50)
+
+
+def main(ctx):
+    ctx.spawn(auditor)
+    ctx.spawn(transfer)
+    ctx.sync()
+
+
+def check(annotations, label):
+    program = TaskProgram(
+        main,
+        name=f"bank_transfer[{label}]",
+        initial_memory={"checking": 100, "savings": 100},
+        annotations=annotations,
+    )
+    report = run_program(program, observers=[OptAtomicityChecker()]).report()
+    print(f"--- {label} ---")
+    print(report.describe())
+    print()
+
+
+if __name__ == "__main__":
+    per_variable = AtomicAnnotations()
+    per_variable.annotate("checking")
+    per_variable.annotate("savings")
+    check(per_variable, "per-variable annotations (misses the torn snapshot)")
+
+    grouped = AtomicAnnotations()
+    grouped.annotate_group("account", ["checking", "savings"])
+    check(grouped, "multi-variable group annotation (detects it)")
+
+    print(
+        "With the group annotation, the auditor's two member reads form a\n"
+        "read-read pattern on the shared group metadata, and the transfer's\n"
+        "parallel member writes are unserializable interleavers (RWR)."
+    )

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""The paper's running example (Figures 1, 2, 5, 10, 11 and 12).
+
+Builds the three-task program of Figure 1, prints its DPST (Figure 2's
+shape: root finish F, step S11, inner finish holding async(T2), step S12,
+async(T3)), runs the optimized checker, and shows the detected RWW triple
+on X -- the violation that never manifests in the observed trace.  Then
+repeats the exercise with the lock-protected variant of Figure 11,
+demonstrating lock versioning: the re-acquired lock L gets a fresh name
+(L#1), so T2's read and write still form a two-access pattern and T3's
+locked write is still reported as an interleaver.
+
+Run: ``python examples/paper_example.py``
+"""
+
+from repro import OptAtomicityChecker, TaskProgram, run_program
+from repro.runtime import SerialExecutor
+
+
+# --- Figure 1: the unsynchronized program ------------------------------------
+
+
+def t2(ctx):
+    a = ctx.read("X")      # statement 6
+    a = a + 1              # statement 7 (task-local arithmetic)
+    ctx.write("X", a)      # statement 8
+
+
+def t3(ctx):
+    ctx.write("X", ctx.read("Y"))  # X = Y
+    ctx.add("Y", 1)                # Y = Y + 1
+
+
+def figure1(ctx):
+    ctx.write("X", 10)     # step S11
+    ctx.spawn(t2)
+    ctx.add("Y", 1)        # step S12 -- between the spawns, as in Fig. 2
+    ctx.spawn(t3)
+    ctx.sync()
+
+
+# --- Figure 11: the data-race-free variant -----------------------------------
+
+
+def t2_locked(ctx):
+    with ctx.lock("L"):
+        a = ctx.read("X")
+    a = a + 1
+    with ctx.lock("L"):    # L released and re-acquired: versioned as L#1
+        ctx.write("X", a)
+
+
+def t3_locked(ctx):
+    with ctx.lock("L"):
+        ctx.write("X", ctx.read("Y"))
+    ctx.add("Y", 1)
+
+
+def figure11(ctx):
+    ctx.write("X", 10)
+    ctx.spawn(t2_locked)
+    ctx.add("Y", 1)
+    ctx.spawn(t3_locked)
+    ctx.sync()
+
+
+def run_and_report(body, title):
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    program = TaskProgram(body, initial_memory={"X": 0, "Y": 0})
+    # help-first LIFO reproduces the paper's trace order: T1's statements,
+    # then T3's (9, 10), then T2's (6, 7, 8).
+    executor = SerialExecutor(policy="help_first", order="lifo")
+    result = run_program(program, executor=executor, observers=[OptAtomicityChecker()])
+    print("DPST (cf. Figure 2):")
+    print(result.dpst.dump())
+    print()
+    print(result.report().describe())
+    print()
+
+
+if __name__ == "__main__":
+    run_and_report(
+        figure1,
+        "Figure 1: T2's read/write pair on X vs T3's parallel write (no locks)",
+    )
+    run_and_report(
+        figure11,
+        "Figure 11: same program, every X access lock-protected -- the\n"
+        "violation survives because T2 uses two separate critical sections",
+    )

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: find an atomicity violation that never happens in the trace.
+
+Two parallel tasks increment a shared counter with an unprotected
+read-modify-write.  Under the default serial executor each task runs to
+completion at its spawn point, so the observed execution is perfectly
+serial -- a trace-based checker (Velodrome) sees nothing wrong.  The
+optimized checker nevertheless reports the violation, because in *another*
+legal schedule one task's write lands between the other's read and write
+(the classic lost update).
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import (
+    OptAtomicityChecker,
+    TaskProgram,
+    VelodromeChecker,
+    run_program,
+)
+
+
+def increment(ctx):
+    """One task's unprotected counter bump: read then write, one step."""
+    value = ctx.read("counter")
+    ctx.write("counter", value + 1)
+
+
+def main(ctx):
+    ctx.write("counter", 0)
+    ctx.spawn(increment)
+    ctx.spawn(increment)
+    ctx.sync()
+    return ctx.read("counter")
+
+
+if __name__ == "__main__":
+    program = TaskProgram(main, name="quickstart")
+
+    result = run_program(program, observers=[OptAtomicityChecker()])
+    print(f"final counter value in this schedule: {result.value}")
+    print()
+    print("optimized checker (all schedules for this input):")
+    print(result.report().describe())
+    print()
+
+    velodrome = run_program(program, observers=[VelodromeChecker()])
+    print("velodrome (this trace only):")
+    print(velodrome.report().describe())
+    print()
+    print(
+        "Velodrome is quiet because the serial schedule really was atomic;\n"
+        "the optimized checker reasons over every schedule the task structure\n"
+        "allows, from this single execution."
+    )

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Data races and atomicity violations are different properties.
+
+Two programs make the paper's Section 1 separation concrete, analysed by
+a DPST-based race detector (the SPD3 lineage the paper builds on) and the
+atomicity checker side by side:
+
+* ``racy_but_atomic`` -- four parallel tasks each perform ONE unordered
+  write. Every pair of writes is a data race, but no step performs two
+  accesses, so there is no atomic region to violate.
+* ``atomic_violation_without_race`` -- the paper's Figure 11: every
+  access to X is protected by lock L (data-race free), yet one task reads
+  and writes X in two *separate* critical sections, so a parallel locked
+  write can slip in between.
+
+It also shows the strawman fix-up: plain Velodrome on the serial trace
+sees nothing, and Velodrome combined with exhaustive interleaving
+exploration (the combination the paper says is required) finds the
+violation only after replaying many schedules.
+
+Run: ``python examples/races_vs_atomicity.py``
+"""
+
+from repro import (
+    ExploringVelodrome,
+    OptAtomicityChecker,
+    RaceDetector,
+    TaskProgram,
+    VelodromeChecker,
+    run_program,
+)
+
+
+def racy_but_atomic():
+    def writer(ctx):
+        ctx.write("X", ctx.task_id)
+
+    def main(ctx):
+        for _ in range(4):
+            ctx.spawn(writer)
+        ctx.sync()
+
+    return TaskProgram(main, name="racy_but_atomic", initial_memory={"X": 0})
+
+
+def atomic_violation_without_race():
+    def split_rmw(ctx):
+        with ctx.lock("L"):
+            value = ctx.read("X")
+        with ctx.lock("L"):
+            ctx.write("X", value + 1)
+
+    def locked_writer(ctx):
+        with ctx.lock("L"):
+            ctx.write("X", 100)
+
+    def main(ctx):
+        ctx.spawn(split_rmw)
+        ctx.spawn(locked_writer)
+        ctx.sync()
+
+    return TaskProgram(
+        main, name="atomicity_without_race", initial_memory={"X": 0}
+    )
+
+
+def analyse(program):
+    races = RaceDetector()
+    atomicity = OptAtomicityChecker()
+    result = run_program(program, observers=[races, atomicity])
+    print(f"=== {program.name} ===")
+    print(f"data races:           {races.describe()}")
+    print(f"atomicity violations: {result.report().describe()}")
+    print()
+    return result
+
+
+if __name__ == "__main__":
+    analyse(racy_but_atomic())
+    analyse(atomic_violation_without_race())
+
+    print("=== the strawman: Velodrome needs interleaving exploration ===")
+    program = atomic_violation_without_race()
+    plain = run_program(program, observers=[VelodromeChecker()])
+    print(f"velodrome, one serial trace: {plain.report().describe()}")
+    exploring = ExploringVelodrome()
+    run_program(program, observers=[exploring])
+    print(
+        f"velodrome + explorer: found violations on "
+        f"{sorted(exploring.violation_locations())} after replaying "
+        f"{exploring.schedules_explored} schedules"
+    )
+    print(
+        "\nThe optimized checker reached the same verdict from the single\n"
+        "observed trace -- the paper's headline trade."
+    )

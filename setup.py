@@ -1,0 +1,9 @@
+"""Setup shim: enables legacy editable installs (``pip install -e .``)
+on environments without the ``wheel`` package (this sandbox has no network
+access, so PEP 517 editable builds that need ``bdist_wheel`` fail).
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Benchmark harnesses regenerating the paper's evaluation artifacts.
+
+One module per table/figure (see DESIGN.md experiment index):
+
+* :mod:`repro.bench.table1` -- benchmark characteristics (locations, DPST
+  nodes, LCA queries, % unique LCA queries);
+* :mod:`repro.bench.fig13`  -- checking overhead of the optimized checker
+  vs the Velodrome baseline, per benchmark plus geometric mean;
+* :mod:`repro.bench.fig14`  -- array-based vs linked DPST layouts;
+* :mod:`repro.bench.ablation` -- extra ablations called out in DESIGN.md:
+  LCA caching on/off and fixed vs unbounded metadata.
+
+Each module is runnable (``python -m repro.bench.table1``) and exposes the
+row-building functions the pytest benchmarks reuse.
+"""
+
+from repro.bench.harness import Measurement, measure, run_once
+
+__all__ = ["Measurement", "measure", "run_once"]

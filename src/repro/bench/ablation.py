@@ -1,0 +1,158 @@
+"""Ablations called out in DESIGN.md (beyond the paper's own figures).
+
+* ``lca_cache`` -- the LCA memoization the prototype uses ("we cache the
+  frequently accessed LCA queries"): optimized checker with the memo table
+  on vs off.  Table 1's unique-percentage column predicts the win: high
+  unique fractions (kmeans, raycast) benefit the least.
+* ``metadata`` -- the fixed 12+2-entry metadata of the optimized checker
+  vs the unbounded access history of the basic checker, comparing both
+  runtime and stored metadata entries.
+
+Run: ``python -m repro.bench.ablation [lca_cache|metadata] [scale]``.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.bench.harness import geometric_mean, measure
+from repro.bench.reporting import render_table
+from repro.checker import BasicAtomicityChecker, OptAtomicityChecker
+from repro.runtime.program import run_program
+from repro.workloads import all_workloads
+
+
+@dataclass
+class CacheRow:
+    workload: str
+    cached: float
+    uncached: float
+    unique_pct: Optional[float]
+
+    @property
+    def speedup(self) -> float:
+        return self.uncached / self.cached if self.cached > 0 else 0.0
+
+
+def collect_lca_cache(scale: Optional[int] = None, repeats: int = 3) -> List[CacheRow]:
+    """Optimized checker with the LCA memo on vs off."""
+    rows: List[CacheRow] = []
+    for spec in all_workloads():
+        cached = measure(spec, "optimized", scale=scale, repeats=repeats, lca_cache=True)
+        uncached = measure(
+            spec, "optimized", scale=scale, repeats=repeats, lca_cache=False
+        )
+        rows.append(
+            CacheRow(
+                workload=spec.name,
+                cached=cached.elapsed,
+                uncached=uncached.elapsed,
+                unique_pct=cached.unique_lca_percent,
+            )
+        )
+    return rows
+
+
+def render_lca_cache(rows: List[CacheRow]) -> str:
+    table_rows = [
+        [
+            r.workload,
+            f"{r.cached * 1000:.1f}ms",
+            f"{r.uncached * 1000:.1f}ms",
+            f"{r.speedup:.2f}x",
+            "-NA-" if r.unique_pct is None else f"{r.unique_pct:.1f}",
+        ]
+        for r in rows
+    ]
+    geo = geometric_mean([r.speedup for r in rows if r.speedup > 0])
+    table_rows.append(["geomean", "", "", f"{geo:.2f}x", ""])
+    return render_table(
+        ["Benchmark", "cached", "uncached", "cache speedup", "% unique"],
+        table_rows,
+        title="Ablation: LCA-query caching (high % unique -> small speedup)",
+    )
+
+
+@dataclass
+class MetadataRow:
+    workload: str
+    optimized_time: float
+    basic_time: float
+    optimized_entries: int
+    optimized_max_per_location: int
+    basic_entries: int
+    accesses: int
+
+
+def collect_metadata(scale: Optional[int] = None) -> List[MetadataRow]:
+    """Fixed-size (optimized) vs unbounded (basic) metadata."""
+    rows: List[MetadataRow] = []
+    for spec in all_workloads():
+        actual = spec.bench_scale if scale is None else scale
+        opt = OptAtomicityChecker()
+        result_opt = run_program(
+            spec.build(actual), observers=[opt], collect_stats=True
+        )
+        basic = BasicAtomicityChecker()
+        result_basic = run_program(spec.build(actual), observers=[basic])
+        rows.append(
+            MetadataRow(
+                workload=spec.name,
+                optimized_time=result_opt.elapsed,
+                basic_time=result_basic.elapsed,
+                optimized_entries=opt.total_global_entries(),
+                optimized_max_per_location=opt.max_entries_per_location(),
+                basic_entries=basic.total_history_entries(),
+                accesses=result_opt.stats.memory_events if result_opt.stats else 0,
+            )
+        )
+    return rows
+
+
+def render_metadata(rows: List[MetadataRow]) -> str:
+    table_rows = [
+        [
+            r.workload,
+            f"{r.optimized_time * 1000:.1f}ms",
+            f"{r.basic_time * 1000:.1f}ms",
+            str(r.optimized_entries),
+            str(r.optimized_max_per_location),
+            str(r.basic_entries),
+            str(r.accesses),
+        ]
+        for r in rows
+    ]
+    return render_table(
+        [
+            "Benchmark",
+            "opt time",
+            "basic time",
+            "opt entries",
+            "opt max/loc",
+            "basic entries",
+            "accesses",
+        ],
+        table_rows,
+        title=(
+            "Ablation: fixed 12-entry global metadata vs unbounded history "
+            "(basic entries == dynamic accesses; opt max/loc <= 12)"
+        ),
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    args = sys.argv[1:] if argv is None else argv
+    which = args[0] if args else "lca_cache"
+    scale = int(args[1]) if len(args) > 1 else None
+    if which == "lca_cache":
+        print(render_lca_cache(collect_lca_cache(scale=scale)))
+    elif which == "metadata":
+        print(render_metadata(collect_metadata(scale=scale)))
+    else:
+        raise SystemExit(f"unknown ablation {which!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Figure 13: checking overhead -- optimized checker vs Velodrome.
+
+For every workload, the execution-time slowdown of (a) the optimized
+atomicity checker and (b) the reimplemented Velodrome baseline, each
+relative to the uninstrumented program, plus the geometric-mean row.  The
+paper reports 4.2x (ours) vs 4.6x (Velodrome) on their C++ prototype; the
+absolute Python numbers differ, but the comparison the figure makes --
+our checker's overhead is in the same range as or below Velodrome's,
+while additionally covering all schedules -- is what this harness checks.
+
+Run: ``python -m repro.bench.fig13 [scale [repeats]]``.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.bench.harness import geometric_mean, measure
+from repro.bench.reporting import render_bars, render_table
+from repro.workloads import all_workloads
+
+
+@dataclass
+class OverheadRow:
+    """Per-workload slowdowns relative to the uninstrumented baseline."""
+
+    workload: str
+    baseline: float
+    optimized: float
+    velodrome: float
+
+    @property
+    def optimized_slowdown(self) -> float:
+        return self.optimized / self.baseline if self.baseline > 0 else 0.0
+
+    @property
+    def velodrome_slowdown(self) -> float:
+        return self.velodrome / self.baseline if self.baseline > 0 else 0.0
+
+
+def collect(scale: Optional[int] = None, repeats: int = 3) -> List[OverheadRow]:
+    """Measure baseline/optimized/velodrome for every workload."""
+    rows: List[OverheadRow] = []
+    for spec in all_workloads():
+        base = measure(spec, "baseline", scale=scale, repeats=repeats)
+        optimized = measure(spec, "optimized", scale=scale, repeats=repeats)
+        velodrome = measure(spec, "velodrome", scale=scale, repeats=repeats)
+        rows.append(
+            OverheadRow(
+                workload=spec.name,
+                baseline=base.elapsed,
+                optimized=optimized.elapsed,
+                velodrome=velodrome.elapsed,
+            )
+        )
+    return rows
+
+
+def render(rows: List[OverheadRow]) -> str:
+    """Render the Figure 13 reproduction: table plus ASCII bars."""
+    table_rows = [
+        [
+            r.workload,
+            f"{r.baseline * 1000:.1f}ms",
+            f"{r.optimized_slowdown:.2f}x",
+            f"{r.velodrome_slowdown:.2f}x",
+        ]
+        for r in rows
+    ]
+    geo_opt = geometric_mean([r.optimized_slowdown for r in rows])
+    geo_vel = geometric_mean([r.velodrome_slowdown for r in rows])
+    table_rows.append(["geomean", "", f"{geo_opt:.2f}x", f"{geo_vel:.2f}x"])
+    table = render_table(
+        ["Benchmark", "baseline", "our checker", "velodrome"],
+        table_rows,
+        title=(
+            "Figure 13: slowdown vs uninstrumented baseline "
+            "(paper: 4.2x ours / 4.6x Velodrome geomean)"
+        ),
+    )
+    bars = render_bars(
+        [
+            (
+                r.workload,
+                [
+                    ("ours     ", r.optimized_slowdown),
+                    ("velodrome", r.velodrome_slowdown),
+                ],
+            )
+            for r in rows
+        ]
+        + [("geomean", [("ours     ", geo_opt), ("velodrome", geo_vel)])],
+        unit="x",
+    )
+    return table + "\n\n" + bars
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    args = sys.argv[1:] if argv is None else argv
+    scale = int(args[0]) if len(args) > 0 else None
+    repeats = int(args[1]) if len(args) > 1 else 3
+    print(render(collect(scale=scale, repeats=repeats)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Figure 14: array-based DPST vs linked DPST.
+
+The paper's layout optimization overlays the DPST in a flat array of nodes
+with parent indices instead of separately allocated linked nodes, reducing
+checking overhead from 5.1x to 4.2x (biggest wins on LCA-query-heavy
+applications).  This harness measures the optimized checker under both
+layouts relative to the uninstrumented baseline.
+
+Run: ``python -m repro.bench.fig14 [scale [repeats]]``.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.bench.harness import geometric_mean, measure
+from repro.bench.reporting import render_bars, render_table
+from repro.workloads import all_workloads
+
+
+@dataclass
+class LayoutRow:
+    """Per-workload slowdowns of the two DPST layouts."""
+
+    workload: str
+    baseline: float
+    array: float
+    linked: float
+
+    @property
+    def array_slowdown(self) -> float:
+        return self.array / self.baseline if self.baseline > 0 else 0.0
+
+    @property
+    def linked_slowdown(self) -> float:
+        return self.linked / self.baseline if self.baseline > 0 else 0.0
+
+
+def collect(scale: Optional[int] = None, repeats: int = 3) -> List[LayoutRow]:
+    """Measure baseline and both DPST layouts for every workload."""
+    rows: List[LayoutRow] = []
+    for spec in all_workloads():
+        base = measure(spec, "baseline", scale=scale, repeats=repeats)
+        array = measure(
+            spec, "optimized", scale=scale, repeats=repeats, dpst_layout="array"
+        )
+        linked = measure(
+            spec, "optimized", scale=scale, repeats=repeats, dpst_layout="linked"
+        )
+        rows.append(
+            LayoutRow(
+                workload=spec.name,
+                baseline=base.elapsed,
+                array=array.elapsed,
+                linked=linked.elapsed,
+            )
+        )
+    return rows
+
+
+def render(rows: List[LayoutRow]) -> str:
+    """Render the Figure 14 reproduction: table plus ASCII bars."""
+    table_rows = [
+        [
+            r.workload,
+            f"{r.baseline * 1000:.1f}ms",
+            f"{r.array_slowdown:.2f}x",
+            f"{r.linked_slowdown:.2f}x",
+        ]
+        for r in rows
+    ]
+    geo_array = geometric_mean([r.array_slowdown for r in rows])
+    geo_linked = geometric_mean([r.linked_slowdown for r in rows])
+    table_rows.append(["geomean", "", f"{geo_array:.2f}x", f"{geo_linked:.2f}x"])
+    table = render_table(
+        ["Benchmark", "baseline", "array-DPST", "linked-DPST"],
+        table_rows,
+        title=(
+            "Figure 14: array vs linked DPST slowdown "
+            "(paper: 4.2x array / 5.1x linked geomean)"
+        ),
+    )
+    bars = render_bars(
+        [
+            (
+                r.workload,
+                [
+                    ("array-DPST ", r.array_slowdown),
+                    ("linked-DPST", r.linked_slowdown),
+                ],
+            )
+            for r in rows
+        ]
+        + [("geomean", [("array-DPST ", geo_array), ("linked-DPST", geo_linked)])],
+        unit="x",
+    )
+    return table + "\n\n" + bars
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    args = sys.argv[1:] if argv is None else argv
+    scale = int(args[0]) if len(args) > 0 else None
+    repeats = int(args[1]) if len(args) > 1 else 3
+    print(render(collect(scale=scale, repeats=repeats)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Shared measurement harness for the benchmark modules.
+
+Runs a workload under a named configuration and collects wall-clock time
+plus the run characteristics Table 1 needs.  Configurations:
+
+* ``baseline``  -- no observers, no DPST (the uninstrumented program);
+* ``optimized`` -- the paper's checker;
+* ``velodrome`` -- the reimplemented baseline checker;
+* ``basic``     -- the unbounded-history checker (ablation).
+
+``dpst_layout`` and ``lca_cache`` select the Figure 14 / LCA-cache
+ablation variants.  Timings follow the paper's method: several repetitions
+per configuration, averaged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.checker import make_checker
+from repro.runtime.program import RunResult, TaskProgram, run_program
+from repro.workloads import WorkloadSpec
+
+
+@dataclass
+class Measurement:
+    """Aggregated result of repeated runs of one configuration."""
+
+    workload: str
+    config: str
+    elapsed: float                  # mean seconds per run
+    runs: List[float] = field(default_factory=list)
+    locations: int = 0
+    dpst_nodes: int = 0
+    lca_queries: int = 0
+    lca_unique: int = 0
+    memory_events: int = 0
+    tasks: int = 0
+    violations: int = 0
+
+    @property
+    def unique_lca_percent(self) -> Optional[float]:
+        if self.lca_queries == 0:
+            return None
+        return 100.0 * self.lca_unique / self.lca_queries
+
+
+def run_once(
+    program: TaskProgram,
+    config: str,
+    dpst_layout: str = "array",
+    lca_cache: bool = True,
+) -> RunResult:
+    """One run of *program* under *config*; see module docstring."""
+    if config == "baseline":
+        return run_program(program, build_dpst=False)
+    checker = make_checker(config)
+    return run_program(
+        program,
+        observers=[checker],
+        dpst_layout=dpst_layout,
+        lca_cache=lca_cache,
+        collect_stats=True,
+    )
+
+
+def measure(
+    spec: WorkloadSpec,
+    config: str,
+    scale: Optional[int] = None,
+    repeats: int = 3,
+    dpst_layout: str = "array",
+    lca_cache: bool = True,
+) -> Measurement:
+    """Run *spec* ``repeats`` times under *config* and aggregate.
+
+    The paper runs each benchmark five times and averages; the default
+    here is three to keep the full matrix fast on a laptop.
+    """
+    actual_scale = spec.bench_scale if scale is None else scale
+    # Warm-up run: first executions pay import/JIT-cache/allocator costs
+    # that would otherwise show up as noise in per-config ratios.
+    run_once(spec.build(actual_scale), config, dpst_layout=dpst_layout, lca_cache=lca_cache)
+    timings: List[float] = []
+    last: Optional[RunResult] = None
+    for _ in range(max(1, repeats)):
+        program = spec.build(actual_scale)
+        last = run_once(program, config, dpst_layout=dpst_layout, lca_cache=lca_cache)
+        timings.append(last.elapsed)
+    assert last is not None
+    result = Measurement(
+        workload=spec.name,
+        config=config,
+        elapsed=sorted(timings)[len(timings) // 2],  # median: robust to GC spikes
+        runs=timings,
+        locations=last.shadow.unique_locations,
+        violations=len(last.report()),
+    )
+    if last.stats is not None:
+        result.dpst_nodes = last.stats.dpst_nodes or 0
+        result.lca_queries = last.stats.lca_queries or 0
+        result.lca_unique = last.stats.lca_unique or 0
+        result.memory_events = last.stats.memory_events
+        result.tasks = last.stats.tasks
+    elif last.dpst is not None:
+        result.dpst_nodes = len(last.dpst)
+    return result
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, as the paper uses for average slowdowns."""
+    filtered = [v for v in values if v > 0]
+    if not filtered:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in filtered) / len(filtered))

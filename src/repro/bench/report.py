@@ -1,0 +1,117 @@
+"""One-shot experiment report: every table/figure in a single run.
+
+``python -m repro.bench.report [scale [repeats]]`` regenerates the whole
+evaluation -- Table 1, Figures 13 and 14, both ablations, the suite and
+failure-injection detection summaries -- and prints one self-contained
+text report (the source material for EXPERIMENTS.md).  Use ``-o FILE`` to
+also write it to disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.bench import ablation, fig13, fig14, table1
+from repro.bench.reporting import render_table
+
+
+def detection_summary() -> str:
+    """Run the 36-program suite + failure injection; summarize verdicts."""
+    from repro.checker import OptAtomicityChecker
+    from repro.runtime import run_program
+    from repro.suite import all_cases
+    from repro.workloads.buggy import all_variants, location_head
+
+    suite_ok = 0
+    suite_bad: List[str] = []
+    for case in all_cases():
+        checker = OptAtomicityChecker()
+        run_program(case.build(), observers=[checker])
+        if set(checker.report.locations()) == set(case.expected):
+            suite_ok += 1
+        else:
+            suite_bad.append(case.name)
+
+    rows = []
+    for variant in all_variants():
+        checker = OptAtomicityChecker(mode="thorough")
+        run_program(variant.build(1), observers=[checker])
+        implicated = {location_head(l) for l in checker.report.locations()}
+        precise = implicated <= set(variant.location_heads) and bool(implicated)
+        rows.append(
+            [
+                variant.name,
+                variant.base_workload,
+                ",".join(sorted(implicated)),
+                "ok" if precise else "IMPRECISE",
+            ]
+        )
+    lines = [
+        f"violation suite: {suite_ok}/36 exact"
+        + (f" (mismatches: {suite_bad})" if suite_bad else ""),
+        "",
+        render_table(
+            ["injected bug", "kernel", "implicated", "verdict"],
+            rows,
+            title="failure injection (thorough mode)",
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def build_report(scale: Optional[int] = None, repeats: int = 3) -> str:
+    """Assemble the full experiment report as one string."""
+    started = time.perf_counter()
+    sections = [
+        "=" * 72,
+        "repro -- full experiment report "
+        f"(scale={scale if scale is not None else 'default'}, repeats={repeats})",
+        "=" * 72,
+        "",
+        "## Detection",
+        "",
+        detection_summary(),
+        "",
+        "## Table 1",
+        "",
+        table1.render(table1.collect(scale=scale, repeats=1)),
+        "",
+        "## Figure 13",
+        "",
+        fig13.render(fig13.collect(scale=scale, repeats=repeats)),
+        "",
+        "## Figure 14",
+        "",
+        fig14.render(fig14.collect(scale=scale, repeats=repeats)),
+        "",
+        "## Ablation: LCA cache",
+        "",
+        ablation.render_lca_cache(ablation.collect_lca_cache(scale=scale, repeats=repeats)),
+        "",
+        "## Ablation: metadata",
+        "",
+        ablation.render_metadata(ablation.collect_metadata(scale=scale)),
+        "",
+        f"(report generated in {time.perf_counter() - started:.1f}s)",
+    ]
+    return "\n".join(sections)
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description="full experiment report")
+    parser.add_argument("scale", nargs="?", type=int, default=None)
+    parser.add_argument("repeats", nargs="?", type=int, default=3)
+    parser.add_argument("-o", "--output", default=None, help="also write to file")
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    report = build_report(scale=args.scale, repeats=args.repeats)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+
+
+if __name__ == "__main__":
+    main()

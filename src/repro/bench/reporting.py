@@ -1,0 +1,72 @@
+"""Text rendering for benchmark tables and bar "figures".
+
+The paper's artifacts are one table and two bar charts; these helpers
+render the same rows as aligned text tables plus ASCII bar charts so the
+harness output can be compared side by side with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+def format_count(value: Optional[float]) -> str:
+    """Human format matching Table 1's style: 9.87M, 638,282, 0, -NA-."""
+    if value is None:
+        return "-NA-"
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.2f}M"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.2f}"
+    return f"{int(value):,}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table with a header rule."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_bars(
+    series: Sequence[Tuple[str, Sequence[Tuple[str, float]]]],
+    unit: str = "x",
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Render grouped horizontal bars.
+
+    *series* is ``[(group_label, [(bar_label, value), ...]), ...]`` -- one
+    group per benchmark with one bar per configuration, like the paper's
+    Figure 13/14 pairs of bars.
+    """
+    peak = max(
+        (value for _, bars in series for _, value in bars if value > 0), default=1.0
+    )
+    label_width = max(
+        (len(label) for _, bars in series for label, _ in bars), default=0
+    )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for group, bars in series:
+        lines.append(group)
+        for label, value in bars:
+            filled = int(round(width * value / peak)) if peak > 0 else 0
+            bar = "#" * max(filled, 1 if value > 0 else 0)
+            lines.append(f"  {label.ljust(label_width)} {bar} {value:.2f}{unit}")
+    return "\n".join(lines)

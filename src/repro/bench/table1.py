@@ -1,0 +1,71 @@
+"""Table 1: benchmark characteristics under the optimized checker.
+
+For every workload: the number of unique dynamic memory locations, the
+number of DPST nodes, the number of LCA (parallelism) queries, and the
+percentage of unique LCA queries.  The paper's absolute counts come from
+full-size inputs on a 16-core Xeon; this reproduction runs laptop-scale
+inputs, so compare *relative shape*: blackscholes issues zero LCA queries,
+kmeans/raycast have the highest unique fractions, swaptions has the
+largest DPST relative to its accesses.
+
+Run: ``python -m repro.bench.table1 [scale]``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.bench.harness import Measurement, measure
+from repro.bench.reporting import format_count, render_table
+from repro.workloads import all_workloads
+
+
+def collect(scale: Optional[int] = None, repeats: int = 1) -> List[Measurement]:
+    """Measure every workload once under the optimized checker."""
+    return [
+        measure(spec, "optimized", scale=scale, repeats=repeats)
+        for spec in all_workloads()
+    ]
+
+
+def render(measurements: List[Measurement], include_paper: bool = True) -> str:
+    """Render the Table 1 reproduction (optionally with the paper's row)."""
+    headers = ["Benchmark", "Locations", "DPST nodes", "LCA queries", "% unique"]
+    if include_paper:
+        headers += ["paper locs", "paper nodes", "paper LCAs", "paper %"]
+    specs = {spec.name: spec for spec in all_workloads()}
+    rows = []
+    for m in measurements:
+        unique = m.unique_lca_percent
+        row = [
+            m.workload,
+            format_count(m.locations),
+            format_count(m.dpst_nodes),
+            format_count(m.lca_queries),
+            "-NA-" if unique is None else f"{unique:.2f}",
+        ]
+        if include_paper:
+            paper = specs[m.workload].paper
+            row += [
+                format_count(paper.locations),
+                format_count(paper.nodes),
+                format_count(paper.lcas),
+                "-NA-" if paper.unique_pct is None else f"{paper.unique_pct:.2f}",
+            ]
+        rows.append(row)
+    return render_table(
+        headers,
+        rows,
+        title="Table 1: benchmark characteristics (reproduction vs paper)",
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    args = sys.argv[1:] if argv is None else argv
+    scale = int(args[0]) if args else None
+    print(render(collect(scale=scale)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Atomicity checkers.
+
+Three analyses, all consuming runtime events as
+:class:`~repro.runtime.observer.RuntimeObserver` subclasses:
+
+* :class:`~repro.checker.basic.BasicAtomicityChecker` -- the paper's
+  Figure 3 algorithm: unbounded per-location access histories, checked on
+  every access.  Sound and complete but metadata grows with the number of
+  dynamic accesses.
+* :class:`~repro.checker.optimized.OptAtomicityChecker` -- the paper's
+  contribution (Figures 6-9 plus Section 3.3): twelve fixed global access
+  history entries per location plus two per-task local entries, with
+  lockset tracking and lock versioning.  Detects atomicity violations that
+  can occur in *any* schedule for the given input.
+* :class:`~repro.checker.velodrome.VelodromeChecker` -- the reimplemented
+  baseline (Flanagan, Freund & Yi, PLDI 2008) at step-node granularity:
+  builds the transactional happens-before graph of the *observed trace*
+  and reports cycles.  Trace-sensitive by design, which is exactly the
+  contrast the paper's Figure 13 draws.
+"""
+
+from repro.checker.access import AccessEntry, TwoAccessPattern
+from repro.checker.annotations import AtomicAnnotations
+from repro.checker.patterns import (
+    UNSERIALIZABLE_PATTERNS,
+    is_unserializable_triple,
+    serializability_table,
+)
+from repro.checker.basic import BasicAtomicityChecker
+from repro.checker.metadata import GlobalSpace, LocalCell, LocalSpace
+from repro.checker.optimized import OptAtomicityChecker
+from repro.checker.velodrome import VelodromeChecker
+from repro.checker.racedetector import RaceDetector, RaceReport
+from repro.checker.exploring import ExploringVelodrome
+
+__all__ = [
+    "AccessEntry",
+    "TwoAccessPattern",
+    "AtomicAnnotations",
+    "UNSERIALIZABLE_PATTERNS",
+    "is_unserializable_triple",
+    "serializability_table",
+    "BasicAtomicityChecker",
+    "GlobalSpace",
+    "LocalCell",
+    "LocalSpace",
+    "OptAtomicityChecker",
+    "VelodromeChecker",
+    "RaceDetector",
+    "RaceReport",
+    "ExploringVelodrome",
+]
+
+
+def make_checker(name: str, **kwargs):
+    """Create a checker by name: ``basic`` | ``optimized`` | ``velodrome``
+    | ``racedetector`` | ``velodrome+explorer``."""
+    factories = {
+        "basic": BasicAtomicityChecker,
+        "optimized": OptAtomicityChecker,
+        "velodrome": VelodromeChecker,
+        "racedetector": RaceDetector,
+        "velodrome+explorer": ExploringVelodrome,
+    }
+    if name not in factories:
+        raise ValueError(
+            f"unknown checker {name!r}; expected one of {sorted(factories)}"
+        )
+    return factories[name](**kwargs)

@@ -1,0 +1,120 @@
+"""Programmer-provided atomicity annotations.
+
+The paper's model: some atomicity violations are intentional (spin loops,
+reductions), so the programmer annotates which memory locations must be
+accessed atomically within a step node.  The prototype used C type
+qualifiers processed by Clang; here annotations are attached to a
+:class:`repro.runtime.program.TaskProgram`.
+
+Two extra capabilities from Section 3:
+
+* **check-everything mode** (the default when nothing is annotated) --
+  convenient for test programs whose every location is meant to be atomic;
+* **multi-variable groups** -- "when multiple locations are required to be
+  accessed atomically, our approach provides the same metadata to all
+  those locations": grouped locations share one metadata cell, so an
+  interleaving access to *any* member can violate the atomicity of a
+  two-access pattern spanning members.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+Location = Hashable
+
+
+class AtomicAnnotations:
+    """Maps locations to metadata keys and answers "is this checked?".
+
+    A *metadata key* identifies the metadata cell used for a location.
+    Ungrouped locations use themselves as key; grouped locations share the
+    group's key.  When ``check_all`` is true (the default with no explicit
+    annotations) every location is checked; otherwise only annotated
+    locations and group members are.
+    """
+
+    def __init__(self, check_all: Optional[bool] = None) -> None:
+        self._explicit: Set[Location] = set()
+        self._group_of: Dict[Location, Tuple[str, ...]] = {}
+        self._groups: Dict[Tuple[str, ...], List[Location]] = {}
+        self._check_all_override = check_all
+
+    # -- population ------------------------------------------------------
+
+    def annotate(self, *locations: Location) -> "AtomicAnnotations":
+        """Mark individual locations as atomic (each its own metadata cell)."""
+        self._explicit.update(locations)
+        return self
+
+    def annotate_group(
+        self, name: str, locations: Sequence[Location]
+    ) -> "AtomicAnnotations":
+        """Mark *locations* as one multi-variable atomic group.
+
+        All members share the metadata cell ``("group", name)``.
+        """
+        key = ("group", name)
+        members = self._groups.setdefault(key, [])
+        for location in locations:
+            if location in self._group_of and self._group_of[location] != key:
+                raise ValueError(
+                    f"location {location!r} is already in group "
+                    f"{self._group_of[location]!r}"
+                )
+            self._group_of[location] = key
+            if location not in members:
+                members.append(location)
+        return self
+
+    def annotate_prefix(self, prefix: str) -> "AtomicAnnotations":
+        """Convenience: treat ``(prefix, i)`` tuple locations as annotated.
+
+        Workloads name array elements as ``(array_name, index)``; this
+        annotates the whole array without enumerating indices.
+        """
+        self._explicit.add(("__prefix__", prefix))
+        return self
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def trivial(self) -> bool:
+        """Every location checked and no grouping: checkers may skip the
+        per-access annotation lookups entirely (hot-path fast path)."""
+        return self.check_all and not self._group_of
+
+    @property
+    def check_all(self) -> bool:
+        """Whether unannotated locations are checked too."""
+        if self._check_all_override is not None:
+            return self._check_all_override
+        return not self._explicit and not self._group_of
+
+    def is_checked(self, location: Location) -> bool:
+        """Should accesses to *location* be checked at all?"""
+        if self.check_all:
+            return True
+        if location in self._explicit or location in self._group_of:
+            return True
+        if isinstance(location, tuple) and location:
+            return ("__prefix__", location[0]) in self._explicit
+        return False
+
+    def metadata_key(self, location: Location) -> Location:
+        """The metadata cell key for *location* (group key if grouped)."""
+        return self._group_of.get(location, location)
+
+    def group_members(self, name: str) -> List[Location]:
+        """The member locations of group *name* (insertion order)."""
+        return list(self._groups.get(("group", name), []))
+
+    def groups(self) -> Iterable[Tuple[Tuple[str, ...], List[Location]]]:
+        """All (group key, members) pairs."""
+        return ((key, list(members)) for key, members in self._groups.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<AtomicAnnotations check_all={self.check_all} "
+            f"explicit={len(self._explicit)} groups={len(self._groups)}>"
+        )

@@ -1,0 +1,316 @@
+"""The optimized atomicity checker (paper Figures 6-9 and Section 3.3).
+
+Detects atomicity violations that can occur in *any* schedule for the given
+input, from a single observed trace, using fixed-size metadata:
+
+* a :class:`~repro.checker.metadata.GlobalSpace` of twelve access-history
+  entries per checked location (R1/R2/W1/W2 singles + RR/RW/WR/WW
+  two-access patterns), shared by all tasks;
+* a :class:`~repro.checker.metadata.LocalSpace` per task holding the first
+  read and first write of the current step to each location -- the interim
+  buffer that turns a second access into a two-access pattern.
+
+Dispatch follows Figure 6:
+
+1. *first access to the location by any task* -- record the single-access
+   pattern globally and the first read/write locally (Figure 7);
+2. *first access by the current task (step)* -- the access can only be the
+   interleaver ``A2`` of a triple, so check it against the stored
+   two-access patterns, then install it into the single slots (Figure 8);
+3. *non-first access* -- the access closes a two-access pattern with the
+   local first read/write, which can only be the ``A1``/``A3`` pair of a
+   triple, so check the candidate pattern against the stored single-access
+   entries of parallel steps, then promote it to the global space
+   (Figure 9).
+
+Locks (Section 3.3): a candidate pattern is formed only when the versioned
+locksets of its two accesses are disjoint -- i.e. the accesses lie in
+different critical sections, so a parallel access can interleave between
+them.  Lock versioning (fresh name on re-acquisition) is handled by the
+runtime; the global space stores no lock information.
+
+Modes
+-----
+``mode="paper"`` (default) is faithful to the published pseudocode: one
+pattern slot per kind, replaced only by in-series candidates, and no
+interleaver re-check on non-first accesses.  ``mode="thorough"`` keeps
+overflow pattern lists and re-checks interleavers, making the checker
+provably equivalent to :class:`~repro.checker.basic.BasicAtomicityChecker`
+(property-tested); the difference only matters in rare 4-task topologies
+documented in ``tests/test_opt_corner_cases.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.checker.access import EMPTY_LOCKSET, AccessEntry, TwoAccessPattern
+from repro.checker.annotations import AtomicAnnotations
+from repro.checker.metadata import GlobalSpace, LocalCell, LocalSpace
+from repro.checker.patterns import pattern_violated_by, triple_code
+from repro.errors import CheckerError
+from repro.report import AtomicityViolation, ViolationReport
+from repro.runtime.events import MemoryEvent
+from repro.runtime.observer import RuntimeObserver
+
+Location = Hashable
+
+
+class OptAtomicityChecker(RuntimeObserver):
+    """Figures 6-9: fixed-size global + local metadata spaces."""
+
+    requires_dpst = True
+    checker_name = "optimized"
+
+    def __init__(self, mode: str = "paper") -> None:
+        if mode not in ("paper", "thorough"):
+            raise ValueError(f"unknown mode {mode!r}; expected 'paper' or 'thorough'")
+        self.mode = mode
+        self.thorough = mode == "thorough"
+        self.report = ViolationReport()
+        self._gs: Dict[Location, GlobalSpace] = {}
+        self._ls: Dict[int, LocalSpace] = {}
+        self._engine = None
+        self._annotations: Optional[AtomicAnnotations] = None
+        self._annotations_trivial = True
+
+    # -- observer wiring ----------------------------------------------------
+
+    def on_run_begin(self, run) -> None:
+        if run.lca_engine is None:
+            raise CheckerError("OptAtomicityChecker requires a DPST/LCA engine")
+        self._engine = run.lca_engine
+        self._annotations = run.annotations or AtomicAnnotations()
+        self._annotations_trivial = self._annotations.trivial
+
+    def on_memory(self, event: MemoryEvent) -> None:
+        if self._annotations_trivial:
+            key = event.location
+        else:
+            annotations = self._annotations
+            if not annotations.is_checked(event.location):
+                return
+            key = annotations.metadata_key(event.location)
+        raw_lockset = event.lockset
+        entry = AccessEntry(
+            event.step,
+            event.access_type,
+            event.task,
+            event.location,
+            frozenset(raw_lockset) if raw_lockset else EMPTY_LOCKSET,
+        )
+        local = self._ls.get(event.task)
+        if local is None:
+            local = LocalSpace(event.task)
+            self._ls[event.task] = local
+        cell, had_prior = local.cell_for(key, event.step)
+        space = self._gs.get(key)
+        if space is None:
+            space = GlobalSpace()
+            self._gs[key] = space
+            self._handle_first_access(space, cell, entry)
+        elif not had_prior:
+            self._handle_first_access_current_task(key, space, cell, entry)
+        else:
+            self._handle_non_first_access(key, space, cell, entry)
+
+    # -- Figure 7 -----------------------------------------------------------------
+
+    def _handle_first_access(
+        self, space: GlobalSpace, cell: LocalCell, entry: AccessEntry
+    ) -> None:
+        """Very first access to the location: seed global and local spaces.
+
+        No LCA query is performed here, which is why ``blackscholes``-style
+        programs (no repeated accesses per step) issue zero LCA queries in
+        Table 1.
+        """
+        if entry.is_read:
+            space.R1 = entry
+            cell.read = entry
+        else:
+            space.W1 = entry
+            cell.write = entry
+        space.version += 1
+
+    # -- Figure 8 -----------------------------------------------------------------
+
+    def _handle_first_access_current_task(
+        self, key: Location, space: GlobalSpace, cell: LocalCell, entry: AccessEntry
+    ) -> None:
+        """First access by this step: it can only be an interleaver (A2)."""
+        parallel = self._engine.parallel
+        if entry.is_read:
+            cell.read = entry
+            # A read interleaver only breaks a write-write pair (W,R,W).
+            self._check_patterns_against(key, space, ("WW",), entry)
+            space.update_single("R", entry, parallel)
+        else:
+            cell.write = entry
+            # A write interleaver breaks every two-access pattern.
+            self._check_patterns_against(key, space, ("WW", "RW", "RR", "WR"), entry)
+            space.update_single("W", entry, parallel)
+
+    # -- Figure 9 -----------------------------------------------------------------
+
+    def _handle_non_first_access(
+        self, key: Location, space: GlobalSpace, cell: LocalCell, entry: AccessEntry
+    ) -> None:
+        """Repeated access by this step: it closes two-access patterns (A1/A3).
+
+        The ``cell.ver_*`` stamps skip re-running a check branch when the
+        global space has not changed since this step last ran it with the
+        same access kind -- the outcome is provably identical (the checks
+        depend only on the step, the access types, and the space's
+        contents), so this is a pure memoization (see
+        :class:`repro.checker.metadata.GlobalSpace`).
+        """
+        parallel = self._engine.parallel
+        if entry.is_read:
+            if (
+                cell.read is not None
+                and cell.ver_rr != space.version
+                and cell.read.locks_disjoint(entry)
+            ):
+                candidate = TwoAccessPattern(cell.read, entry)  # read-read
+                self._check_candidate_against_singles(
+                    key, space, candidate, writes=True, reads=False
+                )
+                space.update_pattern("RR", candidate, parallel, self.thorough)
+                cell.ver_rr = space.version
+            if (
+                cell.write is not None
+                and cell.ver_wr != space.version
+                and cell.write.locks_disjoint(entry)
+            ):
+                candidate = TwoAccessPattern(cell.write, entry)  # write-read
+                self._check_candidate_against_singles(
+                    key, space, candidate, writes=True, reads=False
+                )
+                space.update_pattern("WR", candidate, parallel, self.thorough)
+                cell.ver_wr = space.version
+            if cell.ver_sr != space.version:
+                space.update_single("R", entry, parallel)
+                cell.ver_sr = space.version
+            if cell.read is None:
+                cell.read = entry
+            if self.thorough:
+                self._check_patterns_against(key, space, ("WW",), entry)
+        else:
+            if (
+                cell.read is not None
+                and cell.ver_rw != space.version
+                and cell.read.locks_disjoint(entry)
+            ):
+                candidate = TwoAccessPattern(cell.read, entry)  # read-write
+                self._check_candidate_against_singles(
+                    key, space, candidate, writes=True, reads=False
+                )
+                space.update_pattern("RW", candidate, parallel, self.thorough)
+                cell.ver_rw = space.version
+            if (
+                cell.write is not None
+                and cell.ver_ww != space.version
+                and cell.write.locks_disjoint(entry)
+            ):
+                candidate = TwoAccessPattern(cell.write, entry)  # write-write
+                self._check_candidate_against_singles(
+                    key, space, candidate, writes=True, reads=True
+                )
+                space.update_pattern("WW", candidate, parallel, self.thorough)
+                cell.ver_ww = space.version
+            if cell.ver_sw != space.version:
+                space.update_single("W", entry, parallel)
+                cell.ver_sw = space.version
+            if cell.write is None:
+                cell.write = entry
+            if self.thorough:
+                self._check_patterns_against(
+                    key, space, ("WW", "RW", "RR", "WR"), entry
+                )
+
+    # -- triple checks ----------------------------------------------------------------
+
+    def _check_patterns_against(
+        self, key: Location, space: GlobalSpace, kinds, interleaver: AccessEntry
+    ) -> None:
+        """Stored pattern (A1, A3) + current access as interleaver (A2)."""
+        parallel = self._engine.parallel
+        for kind in kinds:
+            for pattern in space.patterns(kind):
+                if pattern.step == interleaver.step:
+                    continue
+                if not parallel(pattern.step, interleaver.step):
+                    continue
+                if pattern_violated_by(pattern, interleaver):
+                    self._report(key, pattern, interleaver)
+
+    def _check_candidate_against_singles(
+        self,
+        key: Location,
+        space: GlobalSpace,
+        candidate: TwoAccessPattern,
+        writes: bool,
+        reads: bool,
+    ) -> None:
+        """Candidate pattern (A1, A3) + stored single access as interleaver (A2).
+
+        Only write singles can break RR/WR/RW candidates; WW candidates are
+        additionally breakable by read singles (W,R,W) -- the exact checks
+        of Figure 9.
+        """
+        parallel = self._engine.parallel
+        step = candidate.step
+
+        def try_single(single: Optional[AccessEntry]) -> None:
+            if single is None or single.step == step:
+                return
+            if not parallel(step, single.step):
+                return
+            if pattern_violated_by(candidate, single):
+                self._report(key, candidate, single)
+
+        if writes:
+            try_single(space.W1)
+            try_single(space.W2)
+        if reads:
+            try_single(space.R1)
+            try_single(space.R2)
+
+    def _report(
+        self, key: Location, pattern: TwoAccessPattern, interleaver: AccessEntry
+    ) -> None:
+        self.report.add(
+            AtomicityViolation(
+                location=key,
+                first=pattern.first.info(),
+                second=interleaver.info(),
+                third=pattern.second.info(),
+                pattern=triple_code(
+                    pattern.first.access_type,
+                    interleaver.access_type,
+                    pattern.second.access_type,
+                ),
+                checker=self.checker_name,
+            )
+        )
+
+    # -- metadata accounting (ablation ABL-META) ------------------------------------
+
+    def total_global_entries(self) -> int:
+        """Occupied global entries across all locations."""
+        return sum(space.entry_count() for space in self._gs.values())
+
+    def max_entries_per_location(self) -> int:
+        """Largest global space; bounded by 12 in ``paper`` mode."""
+        if not self._gs:
+            return 0
+        return max(space.entry_count() for space in self._gs.values())
+
+    def total_local_entries(self) -> int:
+        """Occupied local entries across all tasks."""
+        return sum(space.entry_count() for space in self._ls.values())
+
+    def tracked_locations(self) -> int:
+        """Number of locations with a global space."""
+        return len(self._gs)

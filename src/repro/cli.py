@@ -1,0 +1,371 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``check MODULE:FUNC``
+    Import a task body and run a checker over it (the CLI analogue of the
+    prototype's instrument-and-run flow).
+``suite``
+    Run the 36-program violation suite and print a result table.
+``workload NAME``
+    Run one of the 13 benchmark kernels under a checker and print its
+    statistics and report.
+``dpst MODULE:FUNC``
+    Execute a program and print its dynamic program structure tree.
+``record MODULE:FUNC -o FILE`` / ``replay FILE``
+    Serialize an execution trace to JSON / replay a saved trace through a
+    checker.
+``table1`` / ``fig13`` / ``fig14`` / ``ablation``
+    The evaluation harnesses (thin wrappers over :mod:`repro.bench`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.checker import make_checker
+from repro.runtime import (
+    RandomOrderExecutor,
+    SerialExecutor,
+    TaskProgram,
+    WorkStealingExecutor,
+    run_program,
+)
+
+CHECKER_NAMES = ("optimized", "basic", "velodrome", "racedetector", "velodrome+explorer")
+
+
+def _load_callable(spec: str) -> Callable[..., Any]:
+    """Resolve ``package.module:function`` to the function object."""
+    if ":" not in spec:
+        raise SystemExit(f"expected MODULE:FUNC, got {spec!r}")
+    module_name, _, func_name = spec.partition(":")
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, func_name)
+    except AttributeError as exc:
+        raise SystemExit(f"{module_name} has no function {func_name!r}") from exc
+
+
+def _make_executor(name: str, seed: int, workers: int):
+    if name == "serial":
+        return SerialExecutor()
+    if name == "help-first":
+        return SerialExecutor(policy="help_first")
+    if name == "random":
+        return RandomOrderExecutor(seed=seed)
+    if name == "worksteal":
+        return WorkStealingExecutor(workers=workers)
+    raise SystemExit(f"unknown executor {name!r}")
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checker", choices=CHECKER_NAMES, default="optimized",
+        help="analysis to attach (default: optimized)",
+    )
+    parser.add_argument(
+        "--executor", choices=("serial", "help-first", "random", "worksteal"),
+        default="serial", help="scheduling strategy (default: serial)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random executor seed")
+    parser.add_argument("--workers", type=int, default=4, help="work-stealing pool size")
+    parser.add_argument(
+        "--dpst-layout", choices=("array", "linked"), default="array",
+        help="DPST representation (default: array)",
+    )
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    body = _load_callable(args.program)
+    checker = make_checker(args.checker)
+    result = run_program(
+        TaskProgram(body),
+        executor=_make_executor(args.executor, args.seed, args.workers),
+        observers=[checker],
+        dpst_layout=args.dpst_layout,
+        collect_stats=True,
+    )
+    print(result.report().describe())
+    if args.stats and result.stats is not None:
+        stats = result.stats
+        print(
+            f"\ntasks={stats.tasks} accesses={stats.memory_events} "
+            f"dpst_nodes={stats.dpst_nodes} lca_queries={stats.lca_queries}"
+        )
+    return 1 if result.report() else 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import render_table
+    from repro.suite import all_cases
+
+    rows: List[List[str]] = []
+    mismatches = 0
+    for case in all_cases():
+        if args.category and case.category != args.category:
+            continue
+        checker = make_checker(args.checker)
+        result = run_program(case.build(), observers=[checker])
+        found = set(result.report().locations())
+        ok = found == set(case.expected)
+        mismatches += 0 if ok else 1
+        rows.append(
+            [
+                case.name,
+                case.category,
+                "violating" if case.violating else "safe",
+                str(len(found)),
+                "ok" if ok else "MISMATCH",
+            ]
+        )
+    print(
+        render_table(
+            ["case", "category", "expectation", "reported", "verdict"],
+            rows,
+            title=f"violation suite under {args.checker!r}",
+        )
+    )
+    print(f"\n{len(rows)} case(s), {mismatches} mismatch(es)")
+    return 1 if mismatches else 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    from repro.workloads import get
+
+    spec = get(args.name)
+    checker = make_checker(args.checker)
+    result = run_program(
+        spec.build(args.scale),
+        executor=_make_executor(args.executor, args.seed, args.workers),
+        observers=[checker],
+        dpst_layout=args.dpst_layout,
+        collect_stats=True,
+    )
+    stats = result.stats
+    print(f"workload {spec.name} (scale {args.scale}): {spec.description}")
+    print(
+        f"elapsed={result.elapsed * 1000:.1f}ms tasks={stats.tasks} "
+        f"accesses={stats.memory_events} locations={result.shadow.unique_locations} "
+        f"dpst_nodes={stats.dpst_nodes} lca_queries={stats.lca_queries} "
+        f"unique={stats.unique_lca_percent:.1f}%"
+    )
+    print(result.report().describe())
+    return 1 if result.report() else 0
+
+
+def cmd_dpst(args: argparse.Namespace) -> int:
+    body = _load_callable(args.program)
+    result = run_program(TaskProgram(body), build_dpst=True, record_trace=True)
+    print(result.dpst.dump())
+    return 0
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    from repro.trace.serialize import dump_trace
+
+    body = _load_callable(args.program)
+    result = run_program(
+        TaskProgram(body),
+        executor=_make_executor(args.executor, args.seed, args.workers),
+        record_trace=True,
+    )
+    dump_trace(result.trace, args.output)
+    print(
+        f"recorded {len(result.trace)} events "
+        f"({len(result.trace.memory_events())} memory) to {args.output}"
+    )
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.trace.replay import replay_trace
+    from repro.trace.serialize import load_trace
+
+    trace = load_trace(args.trace)
+    checker = make_checker(args.checker)
+    report = replay_trace(trace, checker)
+    print(report.describe())
+    return 1 if report else 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Run every analysis on one program and print a comparison matrix."""
+    from repro.bench.reporting import render_table
+    from repro.checker import (
+        BasicAtomicityChecker,
+        ExploringVelodrome,
+        OptAtomicityChecker,
+        RaceDetector,
+        VelodromeChecker,
+    )
+
+    body = _load_callable(args.program)
+    rows: List[List[str]] = []
+    analyses = [
+        ("optimized (paper)", OptAtomicityChecker(mode="paper")),
+        ("optimized (thorough)", OptAtomicityChecker(mode="thorough")),
+        ("basic (reference)", BasicAtomicityChecker()),
+        ("velodrome (this trace)", VelodromeChecker()),
+        ("velodrome + explorer", ExploringVelodrome()),
+        ("race detector", RaceDetector()),
+    ]
+    any_violation = False
+    for label, analysis in analyses:
+        result = run_program(TaskProgram(body), observers=[analysis])
+        if isinstance(analysis, RaceDetector):
+            found = sorted(str(l) for l in analysis.race_locations())
+            count = len(analysis.races)
+        else:
+            found = sorted(str(l) for l in result.report().locations())
+            count = len(result.report())
+        if count and not isinstance(analysis, RaceDetector):
+            any_violation = True
+        extra = ""
+        if isinstance(analysis, ExploringVelodrome):
+            extra = f"{analysis.schedules_explored} schedules"
+        rows.append([label, str(count), ", ".join(found) or "-", extra])
+    print(
+        render_table(
+            ["analysis", "findings", "locations", "notes"],
+            rows,
+            title=f"all analyses on {args.program}",
+        )
+    )
+    return 1 if any_violation else 0
+
+
+def cmd_coverage(args: argparse.Namespace) -> int:
+    from repro.static import analyze_function, check_trace_coverage
+
+    body = _load_callable(args.program)
+    result = run_program(
+        TaskProgram(body),
+        executor=_make_executor(args.executor, args.seed, args.workers),
+        record_trace=True,
+    )
+    static = analyze_function(body)
+    report = check_trace_coverage(static, result.trace)
+    print(static.describe())
+    print()
+    print(report.describe())
+    return 0 if report.complete else 1
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from repro.bench import table1
+
+    table1.main([str(args.scale)] if args.scale else [])
+    return 0
+
+
+def cmd_fig13(args: argparse.Namespace) -> int:
+    from repro.bench import fig13
+
+    fig13.main([str(args.scale or 2), str(args.repeats)])
+    return 0
+
+
+def cmd_fig14(args: argparse.Namespace) -> int:
+    from repro.bench import fig14
+
+    fig14.main([str(args.scale or 2), str(args.repeats)])
+    return 0
+
+
+def cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.bench import ablation
+
+    ablation.main([args.which] + ([str(args.scale)] if args.scale else []))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Atomicity violation checking for task parallel programs "
+        "(CGO'16 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser("check", help="check a task body MODULE:FUNC")
+    check.add_argument("program", help="import path, e.g. mypkg.mymod:main")
+    check.add_argument("--stats", action="store_true", help="print run statistics")
+    _add_run_options(check)
+    check.set_defaults(handler=cmd_check)
+
+    suite = commands.add_parser("suite", help="run the 36-program violation suite")
+    suite.add_argument("--category", help="restrict to one category")
+    suite.add_argument("--checker", choices=CHECKER_NAMES, default="optimized")
+    suite.set_defaults(handler=cmd_suite)
+
+    workload = commands.add_parser("workload", help="run a benchmark kernel")
+    workload.add_argument("name", help="workload name (see repro.workloads)")
+    workload.add_argument("--scale", type=int, default=1)
+    _add_run_options(workload)
+    workload.set_defaults(handler=cmd_workload)
+
+    dpst = commands.add_parser("dpst", help="print a program's DPST")
+    dpst.add_argument("program", help="import path, e.g. mypkg.mymod:main")
+    dpst.set_defaults(handler=cmd_dpst)
+
+    record = commands.add_parser("record", help="record a trace to JSON")
+    record.add_argument("program")
+    record.add_argument("-o", "--output", required=True)
+    _add_run_options(record)
+    record.set_defaults(handler=cmd_record)
+
+    replay = commands.add_parser("replay", help="replay a recorded trace")
+    replay.add_argument("trace")
+    replay.add_argument("--checker", choices=CHECKER_NAMES, default="optimized")
+    replay.set_defaults(handler=cmd_replay)
+
+    compare = commands.add_parser(
+        "compare", help="run every analysis on one program side by side"
+    )
+    compare.add_argument("program")
+    compare.set_defaults(handler=cmd_compare)
+
+    coverage = commands.add_parser(
+        "coverage",
+        help="validate the single-trace completeness precondition "
+        "(static access set vs observed trace)",
+    )
+    coverage.add_argument("program")
+    _add_run_options(coverage)
+    coverage.set_defaults(handler=cmd_coverage)
+
+    table1 = commands.add_parser("table1", help="Table 1 harness")
+    table1.add_argument("--scale", type=int, default=None)
+    table1.set_defaults(handler=cmd_table1)
+
+    fig13 = commands.add_parser("fig13", help="Figure 13 harness")
+    fig13.add_argument("--scale", type=int, default=None)
+    fig13.add_argument("--repeats", type=int, default=3)
+    fig13.set_defaults(handler=cmd_fig13)
+
+    fig14 = commands.add_parser("fig14", help="Figure 14 harness")
+    fig14.add_argument("--scale", type=int, default=None)
+    fig14.add_argument("--repeats", type=int, default=3)
+    fig14.set_defaults(handler=cmd_fig14)
+
+    ablation = commands.add_parser("ablation", help="DESIGN.md ablations")
+    ablation.add_argument("which", choices=("lca_cache", "metadata"))
+    ablation.add_argument("--scale", type=int, default=None)
+    ablation.set_defaults(handler=cmd_ablation)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

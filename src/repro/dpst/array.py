@@ -1,0 +1,96 @@
+"""Array-overlay DPST (the paper's optimized layout).
+
+Instead of separately allocated node objects, the whole tree lives in a few
+parallel flat lists indexed by node id: kind, parent index, depth, and
+sibling rank.  Insertion is an append to each list; an LCA walk is pure
+integer indexing with no pointer indirection and no per-node allocation.
+This mirrors the paper's "DPST overlaid in a linear array of nodes, each
+node maintains an index to the parent" optimization, which Figure 14 shows
+reduces checking overhead from 5.1x to 4.2x on their C++ prototype.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dpst.base import DPSTBase
+from repro.dpst.nodes import NodeKind, NULL_ID, ROOT_ID
+
+
+class ArrayDPST(DPSTBase):
+    """DPST stored as parallel flat arrays."""
+
+    layout_name = "array"
+
+    def __init__(self) -> None:
+        # Root finish node occupies index 0 of every array.  Kinds are
+        # stored as the NodeKind members themselves: in CPython a list of
+        # enum references costs the same as a list of ints, and it avoids
+        # a by-value enum lookup on every kind() call.
+        self._kinds: List[NodeKind] = [NodeKind.FINISH]
+        self._parents: List[int] = [NULL_ID]
+        self._depths: List[int] = [0]
+        self._ranks: List[int] = [0]
+        #: Number of children per node; gives O(1) sibling-rank assignment.
+        self._child_counts: List[int] = [0]
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, parent: int, kind: NodeKind) -> int:
+        self._check_parent(parent, len(self._kinds))
+        node_id = len(self._kinds)
+        self._kinds.append(kind)
+        self._parents.append(parent)
+        self._depths.append(self._depths[parent] + 1)
+        self._ranks.append(self._child_counts[parent])
+        self._child_counts[parent] += 1
+        self._child_counts.append(0)
+        return node_id
+
+    # -- accessors -----------------------------------------------------------
+
+    def kind(self, node: int) -> NodeKind:
+        return self._kinds[node]
+
+    def parent(self, node: int) -> int:
+        return self._parents[node]
+
+    def depth(self, node: int) -> int:
+        return self._depths[node]
+
+    def sibling_rank(self, node: int) -> int:
+        return self._ranks[node]
+
+    def __len__(self) -> int:
+        return len(self._kinds)
+
+    # -- layout-specific query ------------------------------------------------
+
+    def lca_with_children(self, a: int, b: int) -> tuple:
+        """Index-walking LCA returning ``(lca, child_toward_a, child_toward_b)``.
+
+        Same contract as :meth:`LinkedDPST.lca_with_children`, but the walk
+        touches only the flat ``_parents``/``_depths`` integer lists.
+        """
+        parents = self._parents
+        depths = self._depths
+        child_a = -1
+        child_b = -1
+        depth_a = depths[a]
+        depth_b = depths[b]
+        while depth_a > depth_b:
+            child_a = a
+            a = parents[a]
+            depth_a -= 1
+        while depth_b > depth_a:
+            child_b = b
+            b = parents[b]
+            depth_b -= 1
+        while a != b:
+            child_a = a
+            child_b = b
+            a = parents[a]
+            b = parents[b]
+        toward_a = a if child_a == -1 else child_a
+        toward_b = a if child_b == -1 else child_b
+        return a, toward_a, toward_b

@@ -1,0 +1,37 @@
+"""Node kinds and identifiers for the DPST.
+
+Nodes are referred to by dense integer ids (their insertion order), which
+lets both DPST layouts share one id space and makes ids directly usable as
+array indices in :class:`repro.dpst.array.ArrayDPST`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: The id of the root finish node.  Every DPST is created with this node.
+ROOT_ID = 0
+
+#: Sentinel parent id of the root node.
+NULL_ID = -1
+
+
+class NodeKind(enum.IntEnum):
+    """The three DPST node kinds.
+
+    ``IntEnum`` so that the array layout can store kinds in a flat integer
+    list without boxing.
+    """
+
+    STEP = 0
+    ASYNC = 1
+    FINISH = 2
+
+    @property
+    def is_internal(self) -> bool:
+        """Async and finish nodes are the only legal internal nodes."""
+        return self is not NodeKind.STEP
+
+    def short(self) -> str:
+        """One-letter code used in compact tree dumps (S/A/F)."""
+        return {NodeKind.STEP: "S", NodeKind.ASYNC: "A", NodeKind.FINISH: "F"}[self]

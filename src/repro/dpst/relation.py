@@ -1,0 +1,98 @@
+"""Series-parallel relations over a DPST.
+
+The SPD3 rule (Raman et al., PLDI 2012; restated in Section 2 of the CGO'16
+paper): two distinct step nodes ``S1`` and ``S2``, with ``S1`` to the left
+of ``S2`` in the tree's sibling order, may logically execute in parallel iff
+the immediate child of ``LCA(S1, S2)`` that is an ancestor of ``S1`` is an
+*async* node.  Otherwise ``S1`` precedes ``S2`` ("in series").
+
+These functions are the uncached reference implementation; hot paths go
+through :class:`repro.dpst.lca.LCAEngine`, which memoizes the expensive
+tree walk and collects the query statistics Table 1 reports.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.dpst.base import DPSTBase
+from repro.dpst.nodes import NodeKind
+
+
+def lca_with_children(tree: DPSTBase, a: int, b: int) -> Tuple[int, int, int]:
+    """``(lca, child_toward_a, child_toward_b)`` for nodes *a* and *b*.
+
+    ``child_toward_x`` is the immediate child of the LCA on the path to
+    ``x``; when ``x`` is itself the LCA the LCA id is returned in its place.
+    Dispatches to the layout-specific walk when available.
+    """
+    layout_query = getattr(tree, "lca_with_children", None)
+    if layout_query is not None:
+        return layout_query(a, b)
+    # Generic fallback for third-party DPST implementations.
+    child_a = -1
+    child_b = -1
+    while tree.depth(a) > tree.depth(b):
+        child_a, a = a, tree.parent(a)
+    while tree.depth(b) > tree.depth(a):
+        child_b, b = b, tree.parent(b)
+    while a != b:
+        child_a, a = a, tree.parent(a)
+        child_b, b = b, tree.parent(b)
+    return a, (a if child_a == -1 else child_a), (a if child_b == -1 else child_b)
+
+
+def lca(tree: DPSTBase, a: int, b: int) -> int:
+    """The least common ancestor of nodes *a* and *b*."""
+    return lca_with_children(tree, a, b)[0]
+
+
+def left_of(tree: DPSTBase, a: int, b: int) -> bool:
+    """``True`` iff node *a* is to the left of node *b* in the DPST.
+
+    Left-ness is the sibling order at the LCA, which reflects the
+    left-to-right sequencing of computations of the common ancestor task.
+    An ancestor is considered to the left of its descendants (it started
+    first); two equal nodes are not left of each other.
+    """
+    if a == b:
+        return False
+    ancestor, toward_a, toward_b = lca_with_children(tree, a, b)
+    if toward_a == ancestor:
+        return True  # a IS the LCA, hence an ancestor of b.
+    if toward_b == ancestor:
+        return False
+    return tree.sibling_rank(toward_a) < tree.sibling_rank(toward_b)
+
+
+def parallel(tree: DPSTBase, a: int, b: int) -> bool:
+    """``True`` iff step nodes *a* and *b* may logically execute in parallel.
+
+    Implements the SPD3 rule.  A node is never parallel with itself, and an
+    ancestor/descendant pair is always in series.
+    """
+    if a == b:
+        return False
+    ancestor, toward_a, toward_b = lca_with_children(tree, a, b)
+    if toward_a == ancestor or toward_b == ancestor:
+        return False  # ancestor/descendant: strictly ordered.
+    if tree.sibling_rank(toward_a) < tree.sibling_rank(toward_b):
+        left_child = toward_a
+    else:
+        left_child = toward_b
+    return tree.kind(left_child) is NodeKind.ASYNC
+
+
+def precedes(tree: DPSTBase, a: int, b: int) -> bool:
+    """``True`` iff step *a* must complete before step *b* starts.
+
+    For step nodes this is: *a* is left of *b* and they are not parallel.
+    """
+    if a == b:
+        return False
+    return left_of(tree, a, b) and not parallel(tree, a, b)
+
+
+def series(tree: DPSTBase, a: int, b: int) -> bool:
+    """``True`` iff *a* and *b* are distinct and ordered (either direction)."""
+    return a != b and not parallel(tree, a, b)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause.  The
+subclasses distinguish the three layers of the system:
+
+* :class:`DPSTError` -- structural misuse of the dynamic program structure
+  tree (inserting under a step node, querying unknown nodes, ...).
+* :class:`RuntimeUsageError` -- misuse of the task-parallel runtime API
+  (releasing a lock that is not held, ``sync`` outside a task, reading an
+  uninitialised location when strict mode is on, ...).
+* :class:`CheckerError` -- internal consistency failures inside a checker.
+* :class:`TraceError` -- malformed traces handed to replay / exploration.
+
+None of these are raised to *report an atomicity violation*; violations are
+ordinary data (see :mod:`repro.report`) because a dynamic analysis must keep
+running after finding one.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` library."""
+
+
+class DPSTError(ReproError):
+    """Structural misuse of a dynamic program structure tree."""
+
+
+class RuntimeUsageError(ReproError):
+    """Misuse of the task-parallel runtime API by a client program."""
+
+
+class CheckerError(ReproError):
+    """Internal consistency failure inside an atomicity checker."""
+
+
+class TraceError(ReproError):
+    """A recorded trace is malformed or inconsistent with its DPST."""
+
+
+class WorkloadError(ReproError):
+    """A benchmark workload was configured with invalid parameters."""

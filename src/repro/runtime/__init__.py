@@ -1,0 +1,91 @@
+"""Task-parallel runtime with built-in instrumentation.
+
+This package plays the role of Intel TBB *plus* the paper's LLVM
+instrumentation pass: programs are ordinary Python functions written
+against the :class:`~repro.runtime.task.TaskContext` API
+(``spawn``/``sync``/``finish`` for task management, ``read``/``write`` for
+shared memory, ``lock`` for synchronization), and the runtime
+
+* maintains the dynamic program structure tree while tasks execute,
+* routes every shared-memory access through shadow memory, and
+* notifies attached :class:`~repro.runtime.observer.RuntimeObserver`
+  instances (the atomicity checkers, trace recorders, statistics
+  collectors) of every event of interest.
+
+Three executors are provided:
+
+* :class:`~repro.runtime.executor.SerialExecutor` -- depth-first ("child
+  first", the Cilk serial elision) or "help first" (continuation first)
+  serial schedules;
+* :class:`~repro.runtime.executor.WorkStealingExecutor` -- a real
+  thread-pool with per-worker deques and random stealing, mirroring the
+  TBB scheduler (note: CPython's GIL serializes the actual computation, so
+  this executor demonstrates correctness under true concurrency rather
+  than speedup);
+* :class:`~repro.runtime.executor.RandomOrderExecutor` -- a seeded serial
+  executor that picks a random ready task at every scheduling point, used
+  to diversify observed traces in tests.
+"""
+
+from repro.runtime.events import (
+    AcquireEvent,
+    MemoryEvent,
+    ReleaseEvent,
+    SyncEvent,
+    TaskBeginEvent,
+    TaskEndEvent,
+    TaskSpawnEvent,
+)
+from repro.runtime.locks import LockTable
+from repro.runtime.observer import (
+    ObserverChain,
+    RuntimeObserver,
+    StatsObserver,
+    TraceRecorder,
+)
+from repro.runtime.shadow import ShadowMemory
+from repro.runtime.task import Task, TaskContext
+from repro.runtime.executor import (
+    Runtime,
+    RunContext,
+    SerialExecutor,
+    RandomOrderExecutor,
+    WorkStealingExecutor,
+)
+from repro.runtime.program import TaskProgram, RunResult, run_program
+from repro.runtime.algorithms import (
+    parallel_for,
+    parallel_invoke,
+    parallel_pipeline,
+    parallel_reduce,
+)
+
+__all__ = [
+    "parallel_for",
+    "parallel_invoke",
+    "parallel_pipeline",
+    "parallel_reduce",
+    "AcquireEvent",
+    "MemoryEvent",
+    "ReleaseEvent",
+    "SyncEvent",
+    "TaskBeginEvent",
+    "TaskEndEvent",
+    "TaskSpawnEvent",
+    "LockTable",
+    "ObserverChain",
+    "RuntimeObserver",
+    "StatsObserver",
+    "TraceRecorder",
+    "ShadowMemory",
+    "Task",
+    "TaskContext",
+    "Runtime",
+    "RunContext",
+    "SerialExecutor",
+    "RandomOrderExecutor",
+    "WorkStealingExecutor",
+    "TaskProgram",
+    "RunResult",
+    "run_program",
+]

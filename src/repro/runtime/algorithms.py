@@ -1,0 +1,172 @@
+"""TBB-style parallel algorithm templates.
+
+Intel TBB programs rarely spawn raw tasks; they use algorithm templates --
+``parallel_for``, ``parallel_reduce``, ``parallel_invoke`` -- that handle
+range splitting and task management.  These helpers provide the same
+vocabulary over :class:`~repro.runtime.task.TaskContext`, built purely
+from ``spawn``/``sync`` so the DPST and the checkers see ordinary task
+structure.
+
+All of them use TBB's recursive range-splitting shape: a range is split
+in half until it is at most ``grain`` long, and each leaf runs the body in
+its own task (hence its own step nodes -- two leaves are always logically
+parallel, which is exactly what the atomicity checker needs to know).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import RuntimeUsageError
+from repro.runtime.task import TaskContext
+
+Body = Callable[[TaskContext, int], Any]
+RangeBody = Callable[[TaskContext, int, int], Any]
+
+
+def parallel_for(
+    ctx: TaskContext,
+    start: int,
+    stop: int,
+    body: Body,
+    grain: int = 1,
+) -> None:
+    """Run ``body(ctx, i)`` for every i in ``range(start, stop)`` in parallel.
+
+    ``grain`` is TBB's grainsize: the maximum number of consecutive
+    indices executed by one leaf task (and hence inside one atomic
+    region).  The call blocks until every iteration has completed.
+    """
+    if grain < 1:
+        raise RuntimeUsageError(f"grain must be >= 1, got {grain}")
+    if start >= stop:
+        return
+    with ctx.finish():
+        _for_split(ctx, start, stop, body, grain)
+
+
+def _for_leaf(leaf_ctx: TaskContext, start: int, stop: int, body: Body) -> None:
+    for index in range(start, stop):
+        body(leaf_ctx, index)
+
+
+def _for_split(
+    ctx: TaskContext, start: int, stop: int, body: Body, grain: int
+) -> None:
+    """Binary range splitting, spawning leaves."""
+    if stop - start <= grain:
+        ctx.spawn(_for_leaf, start, stop, body)
+        return
+    middle = (start + stop) // 2
+    _for_split(ctx, start, middle, body, grain)
+    _for_split(ctx, middle, stop, body, grain)
+
+
+def parallel_reduce(
+    ctx: TaskContext,
+    start: int,
+    stop: int,
+    map_body: Callable[[TaskContext, int], Any],
+    combine: Callable[[Any, Any], Any],
+    identity: Any,
+    grain: int = 1,
+) -> Any:
+    """Parallel map-reduce over ``range(start, stop)``.
+
+    Each leaf task folds its sub-range locally (``combine`` over
+    ``map_body`` results, seeded with ``identity``); partial results are
+    written to per-leaf locations and combined by the calling task after
+    the join -- the race-free reduction tree the correct versions of the
+    paper's kmeans/swaptions kernels use.
+
+    Returns the combined value.
+    """
+    if grain < 1:
+        raise RuntimeUsageError(f"grain must be >= 1, got {grain}")
+    if start >= stop:
+        return identity
+    # Unique scratch prefix per reduction so nested/repeated reductions
+    # never share partial-result locations.
+    slot = ("__reduce__", ctx.task_id, id(combine) & 0xFFFF, start, stop)
+    leaves: List[Tuple[int, int]] = []
+    _reduce_ranges(start, stop, grain, leaves)
+
+    def leaf(leaf_ctx: TaskContext, index: int, lo: int, hi: int) -> None:
+        accumulator = identity
+        for i in range(lo, hi):
+            accumulator = combine(accumulator, map_body(leaf_ctx, i))
+        leaf_ctx.write((*slot, index), accumulator)
+
+    with ctx.finish():
+        for index, (lo, hi) in enumerate(leaves):
+            ctx.spawn(leaf, index, lo, hi)
+    total = identity
+    for index in range(len(leaves)):
+        total = combine(total, ctx.read((*slot, index)))
+    return total
+
+
+def _reduce_ranges(
+    start: int, stop: int, grain: int, out: List[Tuple[int, int]]
+) -> None:
+    if stop - start <= grain:
+        out.append((start, stop))
+        return
+    middle = (start + stop) // 2
+    _reduce_ranges(start, middle, grain, out)
+    _reduce_ranges(middle, stop, grain, out)
+
+
+def parallel_invoke(ctx: TaskContext, *bodies: Callable[[TaskContext], Any]) -> None:
+    """Run the given task bodies in parallel and wait for all of them.
+
+    TBB's ``parallel_invoke``: each body becomes one task.
+    """
+    if not bodies:
+        return
+    with ctx.finish():
+        for body in bodies:
+            ctx.spawn(body)
+
+
+def parallel_pipeline(
+    ctx: TaskContext,
+    items: Sequence[Any],
+    stages: Sequence[Callable[[TaskContext, Any], Any]],
+    max_in_flight: Optional[int] = None,
+) -> List[Any]:
+    """A simple TBB-style pipeline: each item flows through the stages.
+
+    Stage ``k`` of item ``i`` runs after stage ``k-1`` of item ``i``
+    (dataflow) and -- as in an ordered TBB pipeline executing on one token
+    window -- items are processed in *waves*: all live items advance one
+    stage per wave, so stage k of item i is logically parallel with stage
+    k of every other item in the same wave.  ``max_in_flight`` bounds the
+    wave width (the token count).
+
+    Returns the final stage outputs in item order.  Intermediate values
+    pass through shared memory, so pipelines over shared state are fully
+    visible to the checkers.
+    """
+    window = len(items) if max_in_flight is None else max_in_flight
+    if window < 1:
+        raise RuntimeUsageError("max_in_flight must be >= 1")
+    if not stages:
+        return list(items)
+    slot = ("__pipe__", ctx.task_id, id(stages) & 0xFFFF)
+
+    def run_stage(stage_ctx: TaskContext, item_index: int, stage_index: int) -> None:
+        if stage_index == 0:
+            value = items[item_index]
+        else:
+            value = stage_ctx.read((*slot, item_index, stage_index - 1))
+        result = stages[stage_index](stage_ctx, value)
+        stage_ctx.write((*slot, item_index, stage_index), result)
+
+    for base in range(0, len(items), window):
+        wave = range(base, min(base + window, len(items)))
+        for stage_index in range(len(stages)):
+            with ctx.finish():
+                for item_index in wave:
+                    ctx.spawn(run_stage, item_index, stage_index)
+    return [ctx.read((*slot, i, len(stages) - 1)) for i in range(len(items))]

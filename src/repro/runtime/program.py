@@ -1,0 +1,225 @@
+"""Program packaging and the one-call entry points.
+
+:class:`TaskProgram` bundles a root task body with its initial memory and
+atomicity annotations, so examples, tests, the 36-program violation suite
+and the 13 benchmark workloads all share one shape.  :func:`run_program`
+(and the :meth:`TaskProgram.run` convenience) executes a program under a
+chosen executor with a chosen set of observers and returns a
+:class:`RunResult` gathering everything an experiment needs: the DPST, the
+collected trace, per-run statistics and each checker's violation report.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Union
+
+from repro.checker.annotations import AtomicAnnotations
+from repro.dpst.base import DPSTBase
+from repro.dpst.lca import LCAEngine
+from repro.report import ViolationReport
+from repro.runtime.executor import Executor, RunContext, Runtime, SerialExecutor
+from repro.runtime.observer import RuntimeObserver, StatsObserver, TraceRecorder
+from repro.runtime.shadow import ShadowMemory
+from repro.runtime.task import TaskBody
+
+Location = Hashable
+
+
+class TaskProgram:
+    """A runnable task-parallel program.
+
+    Parameters
+    ----------
+    body:
+        The root task function: ``body(ctx, *args, **kwargs)``.
+    name:
+        Human-readable name (used in reports and benchmark tables).
+    initial_memory:
+        Pre-initialized shared locations.
+    annotations:
+        Atomicity annotations; defaults to check-everything.
+    args / kwargs:
+        Extra arguments passed to *body* after the context.
+    """
+
+    def __init__(
+        self,
+        body: TaskBody,
+        name: Optional[str] = None,
+        initial_memory: Optional[Mapping[Location, Any]] = None,
+        annotations: Optional[AtomicAnnotations] = None,
+        args: Sequence[Any] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.body = body
+        self.name = name or getattr(body, "__name__", "program")
+        self.initial_memory = dict(initial_memory) if initial_memory else {}
+        self.annotations = annotations if annotations is not None else AtomicAnnotations()
+        self.args = tuple(args)
+        self.kwargs = dict(kwargs) if kwargs else {}
+
+    def run(self, **options: Any) -> "RunResult":
+        """Execute this program; see :func:`run_program` for options."""
+        return run_program(self, **options)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<TaskProgram {self.name!r}>"
+
+
+class RunResult:
+    """Everything produced by one execution of a :class:`TaskProgram`."""
+
+    def __init__(
+        self,
+        program: TaskProgram,
+        context: RunContext,
+        observers: Sequence[RuntimeObserver],
+        stats: Optional[StatsObserver],
+        recorder: Optional[TraceRecorder],
+        value: Any,
+    ) -> None:
+        self.program = program
+        self.context = context
+        self.observers = list(observers)
+        self.stats = stats
+        self.recorder = recorder
+        #: Return value of the root task body.
+        self.value = value
+
+    # -- convenience accessors -------------------------------------------------
+
+    @property
+    def dpst(self) -> Optional[DPSTBase]:
+        return self.context.dpst
+
+    @property
+    def lca_engine(self) -> Optional[LCAEngine]:
+        return self.context.lca_engine
+
+    @property
+    def shadow(self) -> ShadowMemory:
+        return self.context.shadow
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock seconds spent executing the root task."""
+        return self.context.elapsed
+
+    @property
+    def trace(self):
+        """The recorded trace, when a recorder was attached."""
+        return None if self.recorder is None else self.recorder.as_trace()
+
+    def report(self) -> ViolationReport:
+        """Merged violation report across all attached checkers."""
+        merged = ViolationReport()
+        for observer in self.observers:
+            found = getattr(observer, "report", None)
+            if isinstance(found, ViolationReport):
+                merged.extend(found)
+        return merged
+
+    def reports_by_checker(self) -> Dict[str, ViolationReport]:
+        """Per-checker reports, keyed by the checker's ``checker_name``."""
+        out: Dict[str, ViolationReport] = {}
+        for observer in self.observers:
+            found = getattr(observer, "report", None)
+            if isinstance(found, ViolationReport):
+                out[getattr(observer, "checker_name", type(observer).__name__)] = found
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<RunResult {self.program.name!r} elapsed={self.elapsed:.4f}s "
+            f"violations={len(self.report())}>"
+        )
+
+
+def run_program(
+    program: Union[TaskProgram, TaskBody],
+    executor: Optional[Executor] = None,
+    observers: Sequence[RuntimeObserver] = (),
+    dpst_layout: str = "array",
+    build_dpst: Optional[bool] = None,
+    lca_cache: bool = True,
+    parallel_engine: str = "lca",
+    record_trace: bool = False,
+    collect_stats: bool = False,
+) -> RunResult:
+    """Run *program* and return a :class:`RunResult`.
+
+    Parameters
+    ----------
+    program:
+        A :class:`TaskProgram`, or a bare body function (wrapped on the fly).
+    executor:
+        Scheduling strategy; defaults to the Cilk-style serial elision.
+    observers:
+        Analyses to attach (checkers etc.).
+    dpst_layout:
+        ``"array"`` (paper's optimized layout) or ``"linked"``.
+    build_dpst:
+        Force DPST construction on/off; default: build iff any observer is
+        attached.
+    lca_cache:
+        Enable the LCA memo table (the paper's caching optimization).
+    parallel_engine:
+        ``"lca"`` (tree-walk queries, the paper's approach) or
+        ``"labels"`` (offset-span-style label comparison; see
+        :mod:`repro.dpst.labels`).
+    record_trace / collect_stats:
+        Attach a :class:`TraceRecorder` / :class:`StatsObserver`
+        automatically and expose them on the result.
+    """
+    if not isinstance(program, TaskProgram):
+        program = TaskProgram(program)
+    if executor is None:
+        executor = SerialExecutor()
+    attached: List[RuntimeObserver] = list(observers)
+    recorder: Optional[TraceRecorder] = None
+    stats: Optional[StatsObserver] = None
+    if record_trace:
+        recorder = TraceRecorder()
+        attached.append(recorder)
+    if collect_stats:
+        stats = StatsObserver()
+        attached.append(stats)
+    runtime = Runtime(
+        executor=executor,
+        observers=attached,
+        shadow=ShadowMemory(initial=program.initial_memory),
+        annotations=program.annotations,
+        dpst_layout=dpst_layout,
+        build_dpst=build_dpst,
+        lca_cache=lca_cache,
+        parallel_engine=parallel_engine,
+    )
+    context = runtime.run(program.body, *program.args, **program.kwargs)
+    root_task = context.tasks.get(0)
+    value = None if root_task is None else root_task.result
+    return RunResult(program, context, attached, stats, recorder, value)
+
+
+def check_program(
+    program: Union[TaskProgram, TaskBody],
+    checker: str = "optimized",
+    executor: Optional[Executor] = None,
+    dpst_layout: str = "array",
+    **checker_kwargs: Any,
+) -> ViolationReport:
+    """One-call convenience: run *program* under a named checker.
+
+    ``checker`` is ``"basic"``, ``"optimized"`` or ``"velodrome"``.
+    Returns the checker's :class:`~repro.report.ViolationReport`.
+    """
+    from repro.checker import make_checker
+
+    analysis = make_checker(checker, **checker_kwargs)
+    result = run_program(
+        program,
+        executor=executor,
+        observers=[analysis],
+        dpst_layout=dpst_layout,
+    )
+    return result.report()

@@ -1,0 +1,102 @@
+"""Shadow memory: the program's shared store plus access accounting.
+
+Workload programs compute with real values, so the shadow memory is a
+genuine key-value store (location -> value).  Locations are arbitrary
+hashable objects; by convention scalars are strings (``"X"``) and array
+elements are tuples (``("points", 17)``).
+
+Besides holding values, shadow memory counts the number of distinct
+locations ever touched, which is Table 1's "No. of locations" column.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, Mapping, Optional
+
+from repro.errors import RuntimeUsageError
+
+Location = Hashable
+
+
+class ShadowMemory:
+    """The shared-memory store of one execution.
+
+    Parameters
+    ----------
+    initial:
+        Optional mapping of pre-initialized locations.
+    default:
+        Value returned when reading a location never written.  When set to
+        the sentinel :data:`STRICT`, such reads raise
+        :class:`RuntimeUsageError` instead -- useful for catching workload
+        bugs.
+    """
+
+    #: Sentinel: reads of unwritten locations are errors.
+    STRICT = object()
+
+    def __init__(
+        self,
+        initial: Optional[Mapping[Location, Any]] = None,
+        default: Any = 0,
+    ) -> None:
+        self._values: Dict[Location, Any] = dict(initial) if initial else {}
+        self._default = default
+        self.read_count = 0
+        self.write_count = 0
+
+    # -- data plane ----------------------------------------------------------
+
+    def load(self, location: Location) -> Any:
+        """Read *location*'s current value."""
+        self.read_count += 1
+        if location in self._values:
+            return self._values[location]
+        if self._default is ShadowMemory.STRICT:
+            raise RuntimeUsageError(f"read of uninitialised location {location!r}")
+        return self._default
+
+    def store(self, location: Location, value: Any) -> None:
+        """Write *value* to *location*."""
+        self.write_count += 1
+        self._values[location] = value
+
+    def peek(self, location: Location, default: Any = None) -> Any:
+        """Read without counting as a program access (for tests/reports)."""
+        return self._values.get(location, default)
+
+    def snapshot(self) -> Dict[Location, Any]:
+        """A copy of the entire store."""
+        return dict(self._values)
+
+    # -- accounting ------------------------------------------------------------
+
+    @property
+    def unique_locations(self) -> int:
+        """Number of distinct locations ever written or pre-initialized.
+
+        Locations only ever *read* at their default value are not stored;
+        runtimes that need read-only locations counted pre-initialize them.
+        """
+        return len(self._values)
+
+    @property
+    def access_count(self) -> int:
+        """Total dynamic accesses (loads + stores)."""
+        return self.read_count + self.write_count
+
+    def locations(self) -> Iterable[Location]:
+        """All stored locations (unspecified order)."""
+        return self._values.keys()
+
+    def __contains__(self, location: Location) -> bool:
+        return location in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<ShadowMemory locations={len(self._values)} "
+            f"reads={self.read_count} writes={self.write_count}>"
+        )

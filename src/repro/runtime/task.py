@@ -1,0 +1,286 @@
+"""Tasks, scope frames, and the user-facing :class:`TaskContext` API.
+
+A *task* is one dynamic unit of parallel work.  Programs are written as
+functions taking a :class:`TaskContext` as their first argument::
+
+    def child(ctx, i):
+        value = ctx.read(("counter", i))
+        ctx.write(("counter", i), value + 1)
+
+    def main(ctx):
+        for i in range(4):
+            ctx.spawn(child, i)
+        ctx.sync()
+
+``spawn``/``sync`` follow Cilk/TBB spawn-sync semantics; ``with
+ctx.finish():`` provides Habanero-style async-finish scoping.  Shared
+memory is accessed exclusively through ``ctx.read``/``ctx.write`` (this is
+the "instrumentation pass": every access is observable), while ordinary
+Python locals remain private to the task.
+
+Scope frames
+------------
+Each task carries a stack of :class:`ScopeFrame` objects mirroring the DPST
+construction rules of Section 2:
+
+* the bottom ``BODY`` frame corresponds to the task's body (the root finish
+  node for the main task, the task's async node otherwise);
+* the first ``spawn`` after a task start, a ``sync`` or a ``finish`` entry
+  pushes an ``IMPLICIT`` finish frame (creating a DPST finish node) that
+  subsequent spawns target -- this reproduces Figure 2, where T1's first
+  spawn creates F12 under the root F11;
+* ``with ctx.finish():`` pushes an ``EXPLICIT`` finish frame.
+
+``sync`` waits for (and pops) the innermost implicit frame; finish-block
+exit and task end drain every frame above their own.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import deque
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.errors import RuntimeUsageError
+from repro.runtime.locks import TaskLockState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.executor import Runtime
+
+Location = Hashable
+TaskBody = Callable[..., Any]
+
+
+class FrameKind(enum.Enum):
+    """The three scope-frame flavours (see module docstring)."""
+
+    BODY = "body"
+    IMPLICIT = "implicit"
+    EXPLICIT = "explicit"
+
+
+class ScopeFrame:
+    """One entry of a task's scope stack.
+
+    ``node`` is the DPST node children of this scope hang from (an async or
+    finish node), or ``-1`` when the run is executing without a DPST.  The
+    synchronization fields serve the executors: ``pending`` holds deferred
+    children for the serial help-first policies, ``outstanding``/``done``
+    count live children for the work-stealing executor.
+    """
+
+    __slots__ = ("kind", "node", "pending", "outstanding", "done")
+
+    def __init__(self, kind: FrameKind, node: int) -> None:
+        self.kind = kind
+        self.node = node
+        self.pending: Deque["Task"] = deque()
+        self.outstanding = 0
+        self.done = threading.Condition()
+
+    def child_started(self) -> None:
+        with self.done:
+            self.outstanding += 1
+
+    def child_finished(self) -> None:
+        with self.done:
+            self.outstanding -= 1
+            if self.outstanding <= 0:
+                self.done.notify_all()
+
+
+class Task:
+    """One dynamic task: body, DPST bookkeeping and lock state."""
+
+    __slots__ = (
+        "task_id",
+        "parent_id",
+        "body",
+        "args",
+        "kwargs",
+        "frames",
+        "current_step",
+        "lock_state",
+        "notify_frame",
+        "result",
+        "depth",
+    )
+
+    def __init__(
+        self,
+        task_id: int,
+        parent_id: Optional[int],
+        body: TaskBody,
+        args: Tuple[Any, ...],
+        kwargs: Dict[str, Any],
+        base_node: int,
+        notify_frame: Optional[ScopeFrame],
+        depth: int = 0,
+    ) -> None:
+        self.task_id = task_id
+        self.parent_id = parent_id
+        self.body = body
+        self.args = args
+        self.kwargs = kwargs
+        #: Scope stack; bottom frame is the task body scope.
+        self.frames: List[ScopeFrame] = [ScopeFrame(FrameKind.BODY, base_node)]
+        #: The step node accumulating this task's current accesses, or
+        #: ``None`` when no step is open (just after a task construct).
+        self.current_step: Optional[int] = None
+        self.lock_state = TaskLockState(task_id)
+        #: The parent scope frame to notify on completion (work stealing).
+        self.notify_frame = notify_frame
+        #: Return value of the body, populated after execution.
+        self.result: Any = None
+        #: Spawn-tree depth, for diagnostics and scheduling heuristics.
+        self.depth = depth
+
+    @property
+    def top_frame(self) -> ScopeFrame:
+        return self.frames[-1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Task {self.task_id} frames={len(self.frames)}>"
+
+
+class TaskContext:
+    """The API surface a task body programs against.
+
+    One context exists per task; it simply forwards to the shared
+    :class:`~repro.runtime.executor.Runtime` with its task attached.
+    """
+
+    __slots__ = ("_runtime", "_task")
+
+    def __init__(self, runtime: "Runtime", task: Task) -> None:
+        self._runtime = runtime
+        self._task = task
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def task_id(self) -> int:
+        """The unique id of the executing task."""
+        return self._task.task_id
+
+    @property
+    def depth(self) -> int:
+        """Spawn-tree depth of the executing task (main task = 0)."""
+        return self._task.depth
+
+    # -- task management -------------------------------------------------------
+
+    def spawn(self, body: TaskBody, *args: Any, **kwargs: Any) -> None:
+        """Spawn *body* as a child task running logically in parallel.
+
+        The child receives a fresh :class:`TaskContext` as its first
+        argument, followed by ``*args``/``**kwargs``.  When the child runs
+        is up to the executor; ``sync`` guarantees completion.
+        """
+        self._runtime.spawn(self._task, body, args, kwargs)
+
+    def sync(self) -> None:
+        """Wait for every child spawned since the last sync point."""
+        self._runtime.sync(self._task)
+
+    def finish(self) -> "_FinishBlock":
+        """Habanero-style finish scope::
+
+            with ctx.finish():
+                ctx.spawn(work, 1)
+                ctx.spawn(work, 2)
+            # both children complete here
+        """
+        return _FinishBlock(self._runtime, self._task)
+
+    # -- shared memory ------------------------------------------------------------
+
+    def read(self, location: Location) -> Any:
+        """Read shared *location* (instrumented)."""
+        return self._runtime.read(self._task, location)
+
+    def write(self, location: Location, value: Any) -> None:
+        """Write *value* to shared *location* (instrumented)."""
+        self._runtime.write(self._task, location, value)
+
+    def update(self, location: Location, fn: Callable[[Any], Any]) -> Any:
+        """Read-modify-write convenience: ``write(loc, fn(read(loc)))``.
+
+        Performs an instrumented read followed by an instrumented write --
+        i.e. it is *not* atomic, exactly like the ``a = X; ...; X = a``
+        idiom the paper's running example checks.
+        """
+        value = fn(self._runtime.read(self._task, location))
+        self._runtime.write(self._task, location, value)
+        return value
+
+    def add(self, location: Location, delta: Any) -> Any:
+        """Instrumented ``location += delta`` (read then write)."""
+        return self.update(location, lambda value: value + delta)
+
+    # -- synchronization --------------------------------------------------------
+
+    def acquire(self, name: str) -> None:
+        """Acquire the program lock *name*."""
+        self._runtime.acquire(self._task, name)
+
+    def release(self, name: str) -> None:
+        """Release the program lock *name*."""
+        self._runtime.release(self._task, name)
+
+    def lock(self, name: str) -> "_LockBlock":
+        """Critical section context manager::
+
+            with ctx.lock("L"):
+                ctx.add("X", 1)
+        """
+        return _LockBlock(self, name)
+
+    def locked(self, name: str) -> bool:
+        """Does the executing task currently hold lock *name*?"""
+        return self._task.lock_state.holds(name)
+
+
+class _FinishBlock:
+    """Context manager implementing ``with ctx.finish():``."""
+
+    __slots__ = ("_runtime", "_task")
+
+    def __init__(self, runtime: "Runtime", task: Task) -> None:
+        self._runtime = runtime
+        self._task = task
+
+    def __enter__(self) -> None:
+        self._runtime.finish_enter(self._task)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Always drain the scope, even on exception, so the frame stack
+        # stays consistent; the exception (if any) still propagates.
+        self._runtime.finish_exit(self._task)
+
+
+class _LockBlock:
+    """Context manager implementing ``with ctx.lock(name):``."""
+
+    __slots__ = ("_ctx", "_name")
+
+    def __init__(self, ctx: TaskContext, name: str) -> None:
+        self._ctx = ctx
+        self._name = name
+
+    def __enter__(self) -> None:
+        self._ctx.acquire(self._name)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._ctx.release(self._name)

@@ -1,0 +1,41 @@
+"""Static access-set over-approximation (the paper's future work).
+
+The optimized checker is complete *"provided the execution trace observed
+by the dynamic analysis contains all shared memory operations that can
+possibly occur in other interleavings for a given input"* (Section 3.1),
+and the conclusion proposes: *"Static analysis can likely be used to
+create an over-approximation of such a set of accesses, which we plan to
+explore in the future."*
+
+This package explores it:
+
+* :mod:`repro.static.accesses` -- computes an over-approximation of the
+  shared accesses a program can perform, either **exactly** from a
+  generator spec tree (the :mod:`repro.trace.generator` format) or
+  **best-effort** from the Python AST of task bodies (constant locations
+  are resolved; computed locations degrade to prefix or unknown
+  patterns);
+* :mod:`repro.static.coverage` -- validates the completeness
+  precondition: every statically-possible access must appear (in some
+  order) in the observed trace.  A clean coverage report means the
+  checker's "all schedules for this input" guarantee stands; missing
+  accesses pinpoint input-dependent branches the observed execution did
+  not take.
+"""
+
+from repro.static.accesses import (
+    AccessPattern,
+    StaticAccessSet,
+    analyze_function,
+    analyze_spec,
+)
+from repro.static.coverage import CoverageReport, check_trace_coverage
+
+__all__ = [
+    "AccessPattern",
+    "StaticAccessSet",
+    "analyze_function",
+    "analyze_spec",
+    "CoverageReport",
+    "check_trace_coverage",
+]

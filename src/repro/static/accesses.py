@@ -1,0 +1,337 @@
+"""Static over-approximation of a program's shared-memory accesses.
+
+Two front ends produce a :class:`StaticAccessSet`:
+
+:func:`analyze_spec`
+    Exact analysis of a :mod:`repro.trace.generator` spec tree -- specs
+    are straight-line access scripts, so the access set is computable
+    precisely (every listed access, no more, no less).
+
+:func:`analyze_function`
+    Best-effort AST analysis of ordinary task bodies.  It walks the
+    function (and, transitively, every locally-resolvable function passed
+    to ``ctx.spawn`` / the parallel algorithm templates), collecting
+    ``ctx.read`` / ``ctx.write`` / ``ctx.add`` / ``ctx.update`` call
+    sites.  Location expressions are abstracted to three precision
+    levels:
+
+    * a fully constant expression -> an exact location;
+    * a tuple whose first element is constant -> a *prefix* pattern
+      (``("grid", i)`` with dynamic ``i`` becomes prefix ``"grid"``);
+    * anything else -> the *unknown* pattern (matches any location).
+
+    The result is a sound over-approximation for programs whose accesses
+    all go through the analyzed context parameter -- exactly the
+    discipline the instrumented runtime enforces anyway.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.report import READ, WRITE
+
+Location = Hashable
+
+#: Pattern kinds, in decreasing precision.
+EXACT = "exact"
+PREFIX = "prefix"
+UNKNOWN = "unknown"
+
+#: ctx methods that read / write / both.
+_READ_METHODS = {"read"}
+_WRITE_METHODS = {"write"}
+_RMW_METHODS = {"add", "update"}
+#: ctx methods whose first argument is a spawned task body.
+_SPAWN_METHODS = {"spawn"}
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """One statically-derived access: precision level, location, type."""
+
+    kind: str                 # EXACT | PREFIX | UNKNOWN
+    location: Location        # exact location, or the prefix string
+    access_type: str          # READ or WRITE
+
+    def matches(self, location: Location) -> bool:
+        """Does a concrete runtime location fall under this pattern?"""
+        if self.kind == UNKNOWN:
+            return True
+        if self.kind == EXACT:
+            return location == self.location
+        return isinstance(location, tuple) and bool(location) and location[0] == self.location
+
+    def describe(self) -> str:
+        letter = "W" if self.access_type == WRITE else "R"
+        if self.kind == EXACT:
+            return f"{letter}({self.location!r})"
+        if self.kind == PREFIX:
+            return f"{letter}(({self.location!r}, *))"
+        return f"{letter}(?)"
+
+
+class StaticAccessSet:
+    """The over-approximated access set of a program."""
+
+    def __init__(self) -> None:
+        self.patterns: Set[AccessPattern] = set()
+        #: Names of spawned bodies the analysis could not resolve.
+        self.unresolved_tasks: List[str] = []
+
+    # -- population ------------------------------------------------------
+
+    def add(self, kind: str, location: Location, access_type: str) -> None:
+        self.patterns.add(AccessPattern(kind, location, access_type))
+
+    def merge(self, other: "StaticAccessSet") -> None:
+        self.patterns |= other.patterns
+        self.unresolved_tasks += other.unresolved_tasks
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def is_precise(self) -> bool:
+        """True when every pattern is exact and every task was resolved."""
+        return not self.unresolved_tasks and all(
+            p.kind == EXACT for p in self.patterns
+        )
+
+    def exact_locations(self, access_type: Optional[str] = None) -> Set[Location]:
+        """Exact locations (optionally of one access type)."""
+        return {
+            p.location
+            for p in self.patterns
+            if p.kind == EXACT
+            and (access_type is None or p.access_type == access_type)
+        }
+
+    def may_access(self, location: Location, access_type: str) -> bool:
+        """Could the program access *location* with *access_type*?"""
+        return any(
+            p.access_type == access_type and p.matches(location)
+            for p in self.patterns
+        )
+
+    def describe(self) -> str:
+        lines = [f"{len(self.patterns)} static access pattern(s):"]
+        lines += sorted(p.describe() for p in self.patterns)
+        if self.unresolved_tasks:
+            lines.append(f"unresolved task bodies: {self.unresolved_tasks}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+
+# ---------------------------------------------------------------------------
+# Spec front end (exact)
+# ---------------------------------------------------------------------------
+
+
+def analyze_spec(spec: Tuple[Any, ...]) -> StaticAccessSet:
+    """Exact access set of a generator spec tree."""
+    result = StaticAccessSet()
+
+    def visit(items: Sequence[Tuple[Any, ...]]) -> None:
+        for item in items:
+            tag = item[0]
+            if tag == "access":
+                _, location, access_type = item
+                result.add(EXACT, location, access_type)
+            elif tag == "locked":
+                visit(item[2])
+            elif tag in ("spawn", "finish"):
+                visit(item[1])
+            elif tag == "sync":
+                continue
+            else:
+                raise ValueError(f"unknown spec item {tag!r}")
+
+    if spec and spec[0] == "task":
+        visit(spec[1])
+    else:
+        visit(spec)  # bare item list
+    return result
+
+
+# ---------------------------------------------------------------------------
+# AST front end (best effort)
+# ---------------------------------------------------------------------------
+
+
+def _literal(node: ast.expr) -> Tuple[bool, Any]:
+    """(is_constant, value) for a location expression."""
+    try:
+        return True, ast.literal_eval(node)
+    except (ValueError, SyntaxError):
+        return False, None
+
+
+def _location_pattern(node: ast.expr) -> Tuple[str, Any]:
+    """Abstract a location expression to (kind, value)."""
+    constant, value = _literal(node)
+    if constant:
+        return EXACT, value
+    if isinstance(node, ast.Tuple) and node.elts:
+        head_constant, head = _literal(node.elts[0])
+        if head_constant:
+            return PREFIX, head
+    return UNKNOWN, None
+
+
+class _BodyAnalyzer(ast.NodeVisitor):
+    """Collects accesses and spawned bodies from one function's AST."""
+
+    def __init__(self, ctx_names: Set[str], result: StaticAccessSet) -> None:
+        self.ctx_names = set(ctx_names)
+        self.result = result
+        #: function names passed to spawn/parallel templates
+        self.spawned_names: List[str] = []
+        #: nested function definitions by name (for local resolution)
+        self.local_functions: Dict[str, ast.AST] = {}
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.local_functions[node.name] = node
+        # Nested defs are analyzed only when spawned/invoked (their first
+        # parameter is then treated as a context).
+        # Still walk them for *direct* uses of the outer ctx (closures).
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        # Lambdas used as bodies: first parameter is a context.
+        if node.args.args:
+            inner_ctx = node.args.args[0].arg
+            self.ctx_names.add(inner_ctx)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            owner = func.value.id
+            method = func.attr
+            if owner in self.ctx_names:
+                self._handle_ctx_call(method, node)
+        elif isinstance(func, ast.Name) and func.id in (
+            "parallel_for",
+            "parallel_reduce",
+            "parallel_invoke",
+            "parallel_pipeline",
+        ):
+            self._handle_template_call(func.id, node)
+        self.generic_visit(node)
+
+    def _handle_ctx_call(self, method: str, node: ast.Call) -> None:
+        if method in _READ_METHODS and node.args:
+            kind, value = _location_pattern(node.args[0])
+            self.result.add(kind, value, READ)
+        elif method in _WRITE_METHODS and node.args:
+            kind, value = _location_pattern(node.args[0])
+            self.result.add(kind, value, WRITE)
+        elif method in _RMW_METHODS and node.args:
+            kind, value = _location_pattern(node.args[0])
+            self.result.add(kind, value, READ)
+            self.result.add(kind, value, WRITE)
+        elif method in _SPAWN_METHODS and node.args:
+            target = node.args[0]
+            if isinstance(target, ast.Name):
+                self.spawned_names.append(target.id)
+            elif isinstance(target, ast.Lambda):
+                self.visit_Lambda(target)
+            else:
+                self.result.unresolved_tasks.append(ast.dump(target)[:40])
+
+    def _handle_template_call(self, name: str, node: ast.Call) -> None:
+        # The body argument position per template: for/reduce take it as
+        # the 4th/4th positional (ctx, start, stop, body), invoke takes
+        # every positional after ctx, pipeline takes a list of stages.
+        candidates: List[ast.expr] = []
+        if name in ("parallel_for", "parallel_reduce") and len(node.args) >= 4:
+            candidates.append(node.args[3])
+        elif name == "parallel_invoke":
+            candidates.extend(node.args[1:])
+        elif name == "parallel_pipeline" and len(node.args) >= 3:
+            stages = node.args[2]
+            if isinstance(stages, (ast.List, ast.Tuple)):
+                candidates.extend(stages.elts)
+        for candidate in candidates:
+            if isinstance(candidate, ast.Name):
+                self.spawned_names.append(candidate.id)
+            elif isinstance(candidate, ast.Lambda):
+                self.visit_Lambda(candidate)
+            else:
+                self.result.unresolved_tasks.append(ast.dump(candidate)[:40])
+
+
+def _function_ast(func: Callable[..., Any]) -> Optional[ast.AST]:
+    try:
+        source = textwrap.dedent(inspect.getsource(func))
+    except (OSError, TypeError):
+        return None
+    tree = ast.parse(source)
+    return tree.body[0] if tree.body else None
+
+
+def analyze_function(
+    func: Callable[..., Any],
+    _visited: Optional[Set[str]] = None,
+) -> StaticAccessSet:
+    """Best-effort access set of a task body and its spawned children.
+
+    Children are resolved through the defining module's globals and
+    through nested ``def``s; anything else (bound methods, dynamically
+    chosen bodies) is recorded in ``unresolved_tasks``, which voids the
+    precision claim but keeps the result a useful lower bound plus a
+    warning.
+    """
+    result = StaticAccessSet()
+    visited = _visited if _visited is not None else set()
+    marker = f"{getattr(func, '__module__', '?')}.{getattr(func, '__qualname__', repr(func))}"
+    if marker in visited:
+        return result
+    visited.add(marker)
+
+    node = _function_ast(func)
+    if node is None:
+        result.unresolved_tasks.append(marker)
+        return result
+    args = getattr(node, "args", None)
+    if args is None or not args.args:
+        result.unresolved_tasks.append(marker)
+        return result
+    ctx_name = args.args[0].arg
+    analyzer = _BodyAnalyzer({ctx_name}, result)
+    analyzer.visit(node)
+
+    module_globals = getattr(func, "__globals__", {})
+    for name in analyzer.spawned_names:
+        if name in analyzer.local_functions:
+            # Nested def: re-analyze its AST with its own ctx parameter.
+            child_node = analyzer.local_functions[name]
+            child_args = getattr(child_node, "args", None)
+            if child_args is not None and child_args.args:
+                child_result = StaticAccessSet()
+                child_analyzer = _BodyAnalyzer(
+                    {child_args.args[0].arg}, child_result
+                )
+                child_analyzer.visit(child_node)
+                result.merge(child_result)
+                for grandchild in child_analyzer.spawned_names:
+                    target = module_globals.get(grandchild)
+                    if callable(target):
+                        result.merge(analyze_function(target, visited))
+                    elif grandchild not in child_analyzer.local_functions:
+                        result.unresolved_tasks.append(grandchild)
+            continue
+        target = module_globals.get(name)
+        if callable(target):
+            result.merge(analyze_function(target, visited))
+        else:
+            result.unresolved_tasks.append(name)
+    return result

@@ -1,0 +1,104 @@
+"""The 36-program atomicity-violation test suite.
+
+The paper's evaluation: *"We have built a test suite of 36 programs that
+exercise various kinds of atomicity violations.  Our prototype detected
+all these violations without false positives."*  This package reproduces
+that suite as 36 small :class:`~repro.runtime.program.TaskProgram`
+builders with ground-truth expectations, grouped into seven categories:
+
+* ``patterns``   -- the eight three-access shapes of Figure 4;
+* ``schedules``  -- violations hidden from the observed (serial) schedule,
+  including the paper's Figure 1 running example;
+* ``locks``      -- critical sections, lock versioning (Figure 11), and
+  the paper's same-critical-section rule;
+* ``multivar``   -- multi-variable atomicity groups;
+* ``nesting``    -- nested spawns and explicit finish scopes;
+* ``safe``       -- programs that must produce **no** report (precision);
+* ``structure``  -- step-boundary subtleties (a spawn ends the atomic
+  region, sync ordering, sibling patterns).
+
+Each :class:`SuiteCase` records the metadata keys the checkers must
+report.  Cases marked ``oracle_divergent`` exercise the paper's documented
+same-critical-section rule, where the checker's verdict intentionally
+differs from the pure schedule-enumeration oracle (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+from repro.runtime.program import TaskProgram
+
+
+@dataclass(frozen=True)
+class SuiteCase:
+    """One suite program plus its ground truth."""
+
+    name: str
+    category: str
+    description: str
+    build: Callable[[], TaskProgram]
+    #: Metadata keys the checkers must report, exactly (no false positives).
+    expected: FrozenSet[Hashable]
+    #: True when the paper's lock rule intentionally diverges from the
+    #: schedule-enumeration oracle on this program.
+    oracle_divergent: bool = False
+
+    @property
+    def violating(self) -> bool:
+        return bool(self.expected)
+
+
+_REGISTRY: Dict[str, SuiteCase] = {}
+
+
+def register(case: SuiteCase) -> SuiteCase:
+    """Add *case* to the registry (suite modules call this at import)."""
+    if case.name in _REGISTRY:
+        raise ValueError(f"duplicate suite case {case.name!r}")
+    _REGISTRY[case.name] = case
+    return case
+
+
+def _load() -> None:
+    # Importing the program modules populates the registry.
+    from repro.suite import (  # noqa: F401
+        programs_patterns,
+        programs_schedules,
+        programs_locks,
+        programs_multivar,
+        programs_nesting,
+        programs_safe,
+        programs_structure,
+    )
+
+
+def all_cases() -> List[SuiteCase]:
+    """Every suite case, in registration order."""
+    _load()
+    return list(_REGISTRY.values())
+
+
+def get(name: str) -> SuiteCase:
+    """Look up one case by name."""
+    _load()
+    return _REGISTRY[name]
+
+
+def by_category() -> Dict[str, List[SuiteCase]]:
+    """Cases grouped by category, each group in registration order."""
+    grouped: Dict[str, List[SuiteCase]] = {}
+    for case in all_cases():
+        grouped.setdefault(case.category, []).append(case)
+    return grouped
+
+
+def violating_cases() -> List[SuiteCase]:
+    """The cases expected to report at least one violation."""
+    return [case for case in all_cases() if case.violating]
+
+
+def safe_cases() -> List[SuiteCase]:
+    """The cases expected to report nothing (precision checks)."""
+    return [case for case in all_cases() if not case.violating]

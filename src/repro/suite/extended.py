@@ -1,0 +1,136 @@
+"""Extended combinatorial suite: every triple x locking x nesting.
+
+The curated 36-program suite samples the interesting space; this module
+*enumerates* a systematic slice of it with ground truth computed from
+first principles rather than written by hand:
+
+* all eight Figure 4 access triples (A1/A3 by the pair task, A2 by the
+  interleaver);
+* three locking modes for the pair -- ``none`` (no locks), ``same_cs``
+  (both accesses in one critical section of L), ``split_cs`` (two
+  critical sections of L, exercising lock versioning);
+* two structural placements -- ``flat`` (pair and interleaver are sibling
+  tasks) and ``nested`` (the pair lives in a grandchild task under an
+  extra finish level).
+
+Expected verdict, derived from the paper's semantics:
+
+    violation  <=>  the triple is unserializable (Fig. 4)
+                AND the pair is separable (locking mode != same_cs)
+
+-- structure never changes the verdict here because both placements keep
+the pair logically parallel to the interleaver, which is itself a useful
+invariant to test.  48 cases total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterator, List, Tuple
+
+from repro.checker.patterns import is_unserializable_triple, triple_code
+from repro.report import READ, WRITE
+from repro.runtime.program import TaskProgram
+from repro.runtime.task import TaskContext
+
+LOCK_MODES = ("none", "same_cs", "split_cs")
+PLACEMENTS = ("flat", "nested")
+
+
+@dataclass(frozen=True)
+class ExtendedCase:
+    """One generated case with its derived ground truth."""
+
+    name: str
+    a1: str
+    a2: str
+    a3: str
+    lock_mode: str
+    placement: str
+
+    @property
+    def code(self) -> str:
+        return triple_code(self.a1, self.a2, self.a3)
+
+    @property
+    def expected(self) -> FrozenSet[str]:
+        unserializable = is_unserializable_triple(self.a1, self.a2, self.a3)
+        separable = self.lock_mode != "same_cs"
+        return frozenset({"X"}) if (unserializable and separable) else frozenset()
+
+    def build(self) -> TaskProgram:
+        return _build_program(self)
+
+
+def _access(ctx: TaskContext, access_type: str) -> None:
+    if access_type == READ:
+        ctx.read("X")
+    else:
+        ctx.write("X", ctx.task_id)
+
+
+def _pair_body(ctx: TaskContext, a1: str, a3: str, lock_mode: str) -> None:
+    """The A1/A3 pair under the requested locking discipline."""
+    if lock_mode == "none":
+        _access(ctx, a1)
+        _access(ctx, a3)
+    elif lock_mode == "same_cs":
+        with ctx.lock("L"):
+            _access(ctx, a1)
+            _access(ctx, a3)
+    elif lock_mode == "split_cs":
+        with ctx.lock("L"):
+            _access(ctx, a1)
+        with ctx.lock("L"):
+            _access(ctx, a3)
+    else:  # pragma: no cover - enum guarded
+        raise ValueError(lock_mode)
+
+
+def _interleaver_body(ctx: TaskContext, a2: str, lock_mode: str) -> None:
+    """The A2 access; it respects L when the pair uses L (consistent
+    discipline, so checker semantics and schedule semantics agree)."""
+    if lock_mode == "none":
+        _access(ctx, a2)
+    else:
+        with ctx.lock("L"):
+            _access(ctx, a2)
+
+
+def _nested_pair_spawner(ctx: TaskContext, a1: str, a3: str, lock_mode: str) -> None:
+    with ctx.finish():
+        ctx.spawn(_pair_body, a1, a3, lock_mode)
+
+
+def _build_program(case: ExtendedCase) -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        if case.placement == "flat":
+            ctx.spawn(_pair_body, case.a1, case.a3, case.lock_mode)
+        else:
+            ctx.spawn(_nested_pair_spawner, case.a1, case.a3, case.lock_mode)
+        ctx.spawn(_interleaver_body, case.a2, case.lock_mode)
+        ctx.sync()
+
+    return TaskProgram(main, name=case.name, initial_memory={"X": 0})
+
+
+def all_extended_cases() -> List[ExtendedCase]:
+    """All 48 generated cases."""
+    cases: List[ExtendedCase] = []
+    for a1 in (READ, WRITE):
+        for a2 in (READ, WRITE):
+            for a3 in (READ, WRITE):
+                for lock_mode in LOCK_MODES:
+                    for placement in PLACEMENTS:
+                        code = triple_code(a1, a2, a3).lower()
+                        cases.append(
+                            ExtendedCase(
+                                name=f"ext_{code}_{lock_mode}_{placement}",
+                                a1=a1,
+                                a2=a2,
+                                a3=a3,
+                                lock_mode=lock_mode,
+                                placement=placement,
+                            )
+                        )
+    return cases

@@ -1,0 +1,230 @@
+"""Suite category ``locks``: critical sections and lock versioning.
+
+Covers Section 3.3: two accesses in *different* critical sections of the
+same lock still form a two-access pattern (lock versioning gives the
+re-acquired lock a fresh name), while two accesses in the *same* critical
+section never do.  Also exercises the documented divergence between the
+paper's same-critical-section rule and the raw schedule oracle when the
+interleaver ignores the lock discipline.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.program import TaskProgram
+from repro.runtime.task import TaskContext
+from repro.suite import SuiteCase, register
+
+
+# -- 1. Figure 11: data-race-free program with an atomicity violation ---------
+
+
+def _fig11_t2(ctx: TaskContext) -> None:
+    with ctx.lock("L"):
+        a = ctx.read("X")          # first critical section
+    a = a + 1
+    with ctx.lock("L"):
+        ctx.write("X", a)          # second critical section (lock re-acquired)
+
+
+def _fig11_t3(ctx: TaskContext) -> None:
+    with ctx.lock("L"):
+        ctx.write("X", ctx.read("Y"))
+    ctx.add("Y", 1)
+
+
+def _build_fig11() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        ctx.write("X", 10)
+        ctx.spawn(_fig11_t2)
+        ctx.add("Y", 1)
+        ctx.spawn(_fig11_t3)
+        ctx.sync()
+
+    return TaskProgram(main, name="paper_figure11", initial_memory={"X": 0, "Y": 0})
+
+
+register(
+    SuiteCase(
+        name="lock_paper_figure11",
+        category="locks",
+        description=(
+            "The paper's Figure 11: data-race free, but T2 reads and writes X "
+            "in two separate critical sections of L; T3's write can land "
+            "between them.  Lock versioning makes the locksets {L} and {L#1} "
+            "disjoint, so the RWW pattern is formed and reported."
+        ),
+        build=_build_fig11,
+        expected=frozenset({"X"}),
+    )
+)
+
+
+# -- 2. Same critical section: protected pair, locked interleaver ---------------
+
+
+def _same_cs_pair(ctx: TaskContext) -> None:
+    with ctx.lock("L"):
+        value = ctx.read("X")
+        ctx.write("X", value + 1)
+
+
+def _locked_writer(ctx: TaskContext) -> None:
+    with ctx.lock("L"):
+        ctx.write("X", 100)
+
+
+def _build_same_cs() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        ctx.spawn(_same_cs_pair)
+        ctx.spawn(_locked_writer)
+        ctx.sync()
+
+    return TaskProgram(main, name="same_cs", initial_memory={"X": 0})
+
+
+register(
+    SuiteCase(
+        name="lock_same_critical_section",
+        category="locks",
+        description=(
+            "Both accesses of the pair sit in one critical section of L and "
+            "the parallel writer also takes L: mutual exclusion keeps the "
+            "interleaver out, no violation."
+        ),
+        build=_build_same_cs,
+        expected=frozenset(),
+    )
+)
+
+
+# -- 3. Same critical section, but the interleaver ignores the lock --------------
+
+
+def _unlocked_writer(ctx: TaskContext) -> None:
+    ctx.write("X", 100)
+
+
+def _build_same_cs_rogue() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        ctx.spawn(_same_cs_pair)
+        ctx.spawn(_unlocked_writer)
+        ctx.sync()
+
+    return TaskProgram(main, name="same_cs_rogue", initial_memory={"X": 0})
+
+
+register(
+    SuiteCase(
+        name="lock_same_cs_rogue_writer",
+        category="locks",
+        description=(
+            "The pair is protected by one critical section but the parallel "
+            "writer takes no lock.  The schedule oracle finds a violation "
+            "(the rogue write can physically interleave); the paper's rule "
+            "-- same critical section => never a pattern -- reports nothing. "
+            "Documented false negative under inconsistent locking."
+        ),
+        build=_build_same_cs_rogue,
+        expected=frozenset(),
+        oracle_divergent=True,
+    )
+)
+
+
+# -- 4. Pair under two different locks ----------------------------------------------
+
+
+def _two_lock_pair(ctx: TaskContext) -> None:
+    with ctx.lock("L"):
+        ctx.read("X")
+    with ctx.lock("M"):
+        ctx.write("X", 5)
+
+
+def _build_two_locks() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        ctx.spawn(_two_lock_pair)
+        ctx.spawn(_locked_writer)    # takes L
+        ctx.sync()
+
+    return TaskProgram(main, name="two_locks", initial_memory={"X": 0})
+
+
+register(
+    SuiteCase(
+        name="lock_two_different_locks",
+        category="locks",
+        description=(
+            "The pair's accesses are guarded by two different locks (L then "
+            "M): disjoint locksets, pattern formed, parallel L-guarded write "
+            "interleaves between the critical sections."
+        ),
+        build=_build_two_locks,
+        expected=frozenset({"X"}),
+    )
+)
+
+
+# -- 5. Consistent whole-RMW locking: correct program ---------------------------------
+
+
+def _build_locked_counter() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        for _ in range(3):
+            ctx.spawn(_same_cs_pair)
+        ctx.sync()
+
+    return TaskProgram(main, name="locked_counter", initial_memory={"X": 0})
+
+
+register(
+    SuiteCase(
+        name="lock_consistent_counter",
+        category="locks",
+        description=(
+            "Three parallel tasks each increment X inside one critical "
+            "section of L: the textbook-correct counter, no violation."
+        ),
+        build=_build_locked_counter,
+        expected=frozenset(),
+    )
+)
+
+
+# -- 6. Read-read pair split across critical sections ------------------------------------
+
+
+def _double_read(ctx: TaskContext) -> None:
+    with ctx.lock("L"):
+        first = ctx.read("X")
+    with ctx.lock("L"):
+        second = ctx.read("X")
+    ctx.write(("diff", ctx.task_id), second - first)
+
+
+def _build_split_reads() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        ctx.spawn(_double_read)
+        ctx.spawn(_locked_writer)
+        ctx.sync()
+
+    return TaskProgram(
+        main,
+        name="split_reads",
+        initial_memory={"X": 0},
+    )
+
+
+register(
+    SuiteCase(
+        name="lock_versioned_read_read",
+        category="locks",
+        description=(
+            "Two reads of X in two critical sections of L (versioned L vs "
+            "L#1) with a parallel L-guarded write: the RWR triple -- the "
+            "reads can observe different values."
+        ),
+        build=_build_split_reads,
+        expected=frozenset({"X"}),
+    )
+)

@@ -1,0 +1,175 @@
+"""Suite category ``multivar``: multi-variable atomicity groups.
+
+Section 3: "When multiple locations are required to be accessed atomically,
+our approach provides the same metadata to all those locations."  Grouped
+locations share one metadata cell, so a write to *any* member interleaving
+between two member accesses of one step is a violation of the group.
+"""
+
+from __future__ import annotations
+
+from repro.checker.annotations import AtomicAnnotations
+from repro.runtime.program import TaskProgram
+from repro.runtime.task import TaskContext
+from repro.suite import SuiteCase, register
+
+GROUP_KEY = ("group", "account")
+
+
+def _transfer_reader(ctx: TaskContext) -> None:
+    # Reads both halves of the account; expects a consistent snapshot.
+    checking = ctx.read("checking")
+    savings = ctx.read("savings")
+    ctx.write(("total", ctx.task_id), checking + savings)
+
+
+def _transfer_writer(ctx: TaskContext) -> None:
+    # Moves 10 from checking to savings (two writes, one step).
+    ctx.add("checking", -10)
+    ctx.add("savings", +10)
+
+
+def _single_deposit(ctx: TaskContext) -> None:
+    ctx.write("savings", 500)
+
+
+def _group_annotations() -> AtomicAnnotations:
+    annotations = AtomicAnnotations()
+    annotations.annotate_group("account", ["checking", "savings"])
+    # Per-task scratch outputs are not part of the atomicity spec.
+    annotations.annotate_prefix("total")
+    return annotations
+
+
+# -- 1. Snapshot reader vs parallel deposit: group violation ---------------------
+
+
+def _build_group_violation() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        ctx.spawn(_transfer_reader)
+        ctx.spawn(_single_deposit)
+        ctx.sync()
+
+    return TaskProgram(
+        main,
+        name="group_snapshot",
+        initial_memory={"checking": 100, "savings": 100},
+        annotations=_group_annotations(),
+    )
+
+
+register(
+    SuiteCase(
+        name="multivar_snapshot_violation",
+        category="multivar",
+        description=(
+            "A reader takes a two-variable snapshot (checking then savings) "
+            "while a parallel task writes savings: reads of different group "
+            "members with an interleaving member write (RWR on the group)."
+        ),
+        build=_build_group_violation,
+        expected=frozenset({GROUP_KEY}),
+    )
+)
+
+
+# -- 2. Grouped accesses in series: safe -----------------------------------------
+
+
+def _build_group_safe() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        ctx.spawn(_transfer_reader)
+        ctx.sync()                     # reader completes before the deposit
+        ctx.spawn(_single_deposit)
+        ctx.sync()
+
+    return TaskProgram(
+        main,
+        name="group_series",
+        initial_memory={"checking": 100, "savings": 100},
+        annotations=_group_annotations(),
+    )
+
+
+register(
+    SuiteCase(
+        name="multivar_series_safe",
+        category="multivar",
+        description=(
+            "Same reader and depositor, but separated by a sync: the steps "
+            "are in series, so the shared group metadata never sees parallel "
+            "accesses."
+        ),
+        build=_build_group_safe,
+        expected=frozenset(),
+    )
+)
+
+
+# -- 3. The same program without grouping is (wrongly) quiet ------------------------
+
+
+def _build_ungrouped() -> TaskProgram:
+    annotations = AtomicAnnotations()
+    annotations.annotate("checking")       # each variable its own cell
+    annotations.annotate("savings")
+
+    def main(ctx: TaskContext) -> None:
+        ctx.spawn(_transfer_reader)
+        ctx.spawn(_single_deposit)
+        ctx.sync()
+
+    return TaskProgram(
+        main,
+        name="group_missing",
+        initial_memory={"checking": 100, "savings": 100},
+        annotations=annotations,
+    )
+
+
+register(
+    SuiteCase(
+        name="multivar_ungrouped_misses",
+        category="multivar",
+        description=(
+            "The snapshot program with per-variable annotations instead of a "
+            "group: each location sees at most one access per step, so no "
+            "single-variable triple exists -- demonstrating why multi-variable "
+            "violations need shared metadata (MUVI-style)."
+        ),
+        build=_build_ungrouped,
+        expected=frozenset(),
+    )
+)
+
+
+# -- 4. Transfer vs transfer: write-write group violation -----------------------------
+
+
+def _build_group_transfers() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        ctx.spawn(_transfer_writer)
+        ctx.spawn(_transfer_writer)
+        ctx.sync()
+
+    return TaskProgram(
+        main,
+        name="group_transfers",
+        initial_memory={"checking": 100, "savings": 100},
+        annotations=_group_annotations(),
+    )
+
+
+register(
+    SuiteCase(
+        name="multivar_concurrent_transfers",
+        category="multivar",
+        description=(
+            "Two parallel transfers each update both group members; the "
+            "other transfer's writes interleave between a transfer's two "
+            "member updates (multiple unserializable group triples)."
+        ),
+        build=_build_group_transfers,
+        expected=frozenset({GROUP_KEY}),
+    )
+)

@@ -1,0 +1,181 @@
+"""Suite category ``nesting``: nested spawns and explicit finish scopes.
+
+Exercises the DPST parallelism rule across deep trees: violations between
+tasks at different nesting levels, and safety created by finish scopes
+that force series execution.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.program import TaskProgram
+from repro.runtime.task import TaskContext
+from repro.suite import SuiteCase, register
+
+
+def _rmw(ctx: TaskContext) -> None:
+    value = ctx.read("X")
+    ctx.write("X", value + 1)
+
+
+def _writer(ctx: TaskContext) -> None:
+    ctx.write("X", 100)
+
+
+# -- 1. Finish scope forces series: safe ---------------------------------------
+
+
+def _build_finish_isolates() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        with ctx.finish():
+            ctx.spawn(_rmw)       # completes before the finish block exits
+        ctx.spawn(_writer)        # strictly after the pair
+        ctx.sync()
+
+    return TaskProgram(main, name="finish_isolates", initial_memory={"X": 0})
+
+
+register(
+    SuiteCase(
+        name="nest_finish_isolates",
+        category="nesting",
+        description=(
+            "The read-modify-write pair runs inside an explicit finish "
+            "scope; the writer is spawned after it closes.  The DPST places "
+            "them in series: no violation."
+        ),
+        build=_build_finish_isolates,
+        expected=frozenset(),
+    )
+)
+
+
+# -- 2. Parallel siblings inside one finish: violation ---------------------------
+
+
+def _build_finish_parallel() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        with ctx.finish():
+            ctx.spawn(_rmw)
+            ctx.spawn(_writer)    # same finish scope: parallel with the pair
+
+    return TaskProgram(main, name="finish_parallel", initial_memory={"X": 0})
+
+
+register(
+    SuiteCase(
+        name="nest_finish_parallel_siblings",
+        category="nesting",
+        description=(
+            "Habanero-style: two asyncs inside one finish are parallel; the "
+            "writer interleaves the pair (RWW)."
+        ),
+        build=_build_finish_parallel,
+        expected=frozenset({"X"}),
+    )
+)
+
+
+# -- 3. Deep spawn chain: pair at depth 4, interleaver at the root ------------------
+
+
+def _chain(ctx: TaskContext, depth: int) -> None:
+    if depth == 0:
+        _rmw(ctx)
+        return
+    ctx.spawn(_chain, depth - 1)
+    ctx.sync()
+
+
+def _build_deep_chain() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        ctx.spawn(_chain, 4)
+        ctx.spawn(_writer)
+        ctx.sync()
+
+    return TaskProgram(main, name="deep_chain", initial_memory={"X": 0})
+
+
+register(
+    SuiteCase(
+        name="nest_deep_chain",
+        category="nesting",
+        description=(
+            "The pair sits five spawns deep; the writer is a direct child of "
+            "the root.  The LCA walk spans the whole chain."
+        ),
+        build=_build_deep_chain,
+        expected=frozenset({"X"}),
+    )
+)
+
+
+# -- 4. parallel_for over disjoint locations: safe ------------------------------------
+
+
+def _index_task(ctx: TaskContext, index: int) -> None:
+    value = ctx.read(("cell", index))
+    ctx.write(("cell", index), value + 1)
+
+
+def _build_parallel_for_disjoint() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        for index in range(6):
+            ctx.spawn(_index_task, index)
+        ctx.sync()
+
+    return TaskProgram(
+        main,
+        name="parallel_for_disjoint",
+        initial_memory={("cell", i): 0 for i in range(6)},
+    )
+
+
+register(
+    SuiteCase(
+        name="nest_parallel_for_disjoint",
+        category="nesting",
+        description=(
+            "blackscholes-shaped parallel_for: every task owns its own "
+            "location, pairs exist but no parallel task touches them."
+        ),
+        build=_build_parallel_for_disjoint,
+        expected=frozenset(),
+    )
+)
+
+
+# -- 5. parallel_for with a shared accumulator: violation --------------------------------
+
+
+def _accumulate(ctx: TaskContext, index: int) -> None:
+    local = ctx.read(("cell", index))
+    total = ctx.read("sum")
+    ctx.write("sum", total + local)
+
+
+def _build_parallel_for_shared() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        for index in range(4):
+            ctx.spawn(_accumulate, index)
+        ctx.sync()
+
+    return TaskProgram(
+        main,
+        name="parallel_for_shared",
+        initial_memory={("cell", i): i for i in range(4)} | {"sum": 0},
+    )
+
+
+register(
+    SuiteCase(
+        name="nest_parallel_for_shared_sum",
+        category="nesting",
+        description=(
+            "parallel_for reduction done wrong: each task read-modify-writes "
+            "the shared accumulator without protection (RWW/RWR triples "
+            "between every pair of tasks)."
+        ),
+        build=_build_parallel_for_shared,
+        expected=frozenset({"sum"}),
+    )
+)

@@ -1,0 +1,77 @@
+"""Suite category ``patterns``: the eight triples of Figure 4.
+
+Each program spawns two parallel tasks: a *pair* task performing accesses
+``A1`` then ``A3`` to ``X`` within one step node, and an *interleaver*
+task performing the single access ``A2``.  The five unserializable shapes
+(RWR, RWW, WRW, WWR, WWW) must be reported on ``X``; the three
+serializable shapes (RRR, RRW, WRR) must produce no report.
+"""
+
+from __future__ import annotations
+
+from repro.report import READ, WRITE
+from repro.runtime.program import TaskProgram
+from repro.runtime.task import TaskContext
+from repro.suite import SuiteCase, register
+from repro.checker.patterns import is_serializable
+
+
+def _do(ctx: TaskContext, access_type: str) -> None:
+    if access_type == READ:
+        ctx.read("X")
+    else:
+        ctx.write("X", ctx.task_id)
+
+
+def _pair_task(ctx: TaskContext, a1: str, a3: str) -> None:
+    _do(ctx, a1)
+    _do(ctx, a3)
+
+
+def _single_task(ctx: TaskContext, a2: str) -> None:
+    _do(ctx, a2)
+
+
+def _make_builder(a1: str, a2: str, a3: str):
+    def build() -> TaskProgram:
+        def main(ctx: TaskContext) -> None:
+            ctx.spawn(_pair_task, a1, a3)
+            ctx.spawn(_single_task, a2)
+            ctx.sync()
+
+        return TaskProgram(
+            main,
+            name=f"pattern_{_code(a1, a2, a3)}",
+            initial_memory={"X": 0},
+        )
+
+    return build
+
+
+def _code(a1: str, a2: str, a3: str) -> str:
+    return "".join("W" if t == WRITE else "R" for t in (a1, a2, a3))
+
+
+def _register_all() -> None:
+    for a1 in (READ, WRITE):
+        for a2 in (READ, WRITE):
+            for a3 in (READ, WRITE):
+                code = _code(a1, a2, a3)
+                serializable = is_serializable(a1, a2, a3)
+                register(
+                    SuiteCase(
+                        name=f"pattern_{code.lower()}",
+                        category="patterns",
+                        description=(
+                            f"Figure 4 triple {code}: pair task does "
+                            f"{code[0]},{code[2]} on X; parallel task does "
+                            f"{code[1]} -- "
+                            + ("serializable" if serializable else "unserializable")
+                        ),
+                        build=_make_builder(a1, a2, a3),
+                        expected=frozenset() if serializable else frozenset({"X"}),
+                    )
+                )
+
+
+_register_all()

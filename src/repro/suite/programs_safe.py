@@ -1,0 +1,135 @@
+"""Suite category ``safe``: programs that must produce no report.
+
+Precision checks: the paper claims zero false positives.  These programs
+combine parallelism, shared data and even data races in ways that are
+nevertheless conflict serializable at step granularity.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.program import TaskProgram
+from repro.runtime.task import TaskContext
+from repro.suite import SuiteCase, register
+
+
+# -- 1. Purely sequential RMW chains ------------------------------------------
+
+
+def _build_sequential() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        for _ in range(5):
+            value = ctx.read("X")
+            ctx.write("X", value + 1)
+
+    return TaskProgram(main, name="sequential", initial_memory={"X": 0})
+
+
+register(
+    SuiteCase(
+        name="safe_sequential",
+        category="safe",
+        description="No tasks at all: every access is in one step.",
+        build=_build_sequential,
+        expected=frozenset(),
+    )
+)
+
+
+# -- 2. Sync separates the pair from the writer -----------------------------------
+
+
+def _rmw(ctx: TaskContext) -> None:
+    value = ctx.read("X")
+    ctx.write("X", value + 1)
+
+
+def _writer(ctx: TaskContext) -> None:
+    ctx.write("X", 100)
+
+
+def _build_sync_separates() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        ctx.spawn(_rmw)
+        ctx.sync()            # the pair completes here
+        ctx.spawn(_writer)
+        ctx.sync()
+
+    return TaskProgram(main, name="sync_separates", initial_memory={"X": 0})
+
+
+register(
+    SuiteCase(
+        name="safe_sync_separates",
+        category="safe",
+        description=(
+            "The writer is spawned only after the sync that joins the "
+            "pair-performing task: series in the DPST, no violation."
+        ),
+        build=_build_sync_separates,
+        expected=frozenset(),
+    )
+)
+
+
+# -- 3. Racy single accesses: a data race but NOT an atomicity violation ------------
+
+
+def _single_write(ctx: TaskContext) -> None:
+    ctx.write("X", ctx.task_id)
+
+
+def _build_racy_singles() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        for _ in range(4):
+            ctx.spawn(_single_write)
+        ctx.sync()
+
+    return TaskProgram(main, name="racy_singles", initial_memory={"X": 0})
+
+
+register(
+    SuiteCase(
+        name="safe_race_without_violation",
+        category="safe",
+        description=(
+            "Four parallel tasks race on a single write each.  Every data "
+            "race is present, but no step performs two accesses, so no "
+            "atomicity triple exists -- races and atomicity violations are "
+            "different specifications (paper Section 1)."
+        ),
+        build=_build_racy_singles,
+        expected=frozenset(),
+    )
+)
+
+
+# -- 4. Correct locked reduction ---------------------------------------------------------
+
+
+def _locked_add(ctx: TaskContext, amount: int) -> None:
+    with ctx.lock("sum_lock"):
+        total = ctx.read("sum")
+        ctx.write("sum", total + amount)
+
+
+def _build_locked_reduction() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        for amount in range(1, 6):
+            ctx.spawn(_locked_add, amount)
+        ctx.sync()
+
+    return TaskProgram(main, name="locked_reduction", initial_memory={"sum": 0})
+
+
+register(
+    SuiteCase(
+        name="safe_locked_reduction",
+        category="safe",
+        description=(
+            "The textbook-correct reduction: every read-modify-write of the "
+            "accumulator happens inside one critical section of one lock."
+        ),
+        build=_build_locked_reduction,
+        expected=frozenset(),
+    )
+)

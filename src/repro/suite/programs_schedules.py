@@ -1,0 +1,153 @@
+"""Suite category ``schedules``: violations invisible in the observed trace.
+
+These programs execute, under the default serial executor, schedules in
+which the offending accesses never actually interleave -- Velodrome-style
+trace checking sees nothing -- yet a different legal schedule exhibits the
+violation.  The optimized checker must report them from the one serial
+trace (the paper's headline capability).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.program import TaskProgram
+from repro.runtime.task import TaskContext
+from repro.suite import SuiteCase, register
+
+
+# -- 1. The paper's Figure 1 running example ---------------------------------
+
+
+def _fig1_t2(ctx: TaskContext) -> None:
+    a = ctx.read("X")      # statement 6
+    a = a + 1              # statement 7 (task-local)
+    ctx.write("X", a)      # statement 8
+
+
+def _fig1_t3(ctx: TaskContext) -> None:
+    ctx.write("X", ctx.read("Y"))  # X = Y
+    ctx.add("Y", 1)                # Y = Y + 1
+
+
+def _fig1_main(ctx: TaskContext) -> None:
+    ctx.write("X", 10)     # statement 1 (step S11)
+    ctx.spawn(_fig1_t2)    # statement 2
+    ctx.add("Y", 1)        # step S12 (between the spawns, as in Fig. 2)
+    ctx.spawn(_fig1_t3)
+    ctx.sync()
+
+
+def _build_fig1() -> TaskProgram:
+    return TaskProgram(
+        _fig1_main,
+        name="paper_figure1",
+        initial_memory={"X": 0, "Y": 0},
+    )
+
+
+register(
+    SuiteCase(
+        name="sched_paper_figure1",
+        category="schedules",
+        description=(
+            "The paper's running example (Fig. 1/5): T2's read-write pair on "
+            "X with T3's parallel write forms an RWW triple even though the "
+            "observed trace executes each step atomically."
+        ),
+        build=_build_fig1,
+        expected=frozenset({"X"}),
+    )
+)
+
+
+# -- 2/3. Pair-first and interleaver-first serial orders ------------------------
+
+
+def _rmw_task(ctx: TaskContext) -> None:
+    value = ctx.read("X")
+    ctx.write("X", value + 1)
+
+
+def _write_task(ctx: TaskContext) -> None:
+    ctx.write("X", 100)
+
+
+def _build_pair_first() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        ctx.spawn(_rmw_task)     # runs to completion first (child-first)
+        ctx.spawn(_write_task)   # interleaver appears later in the trace
+        ctx.sync()
+
+    return TaskProgram(main, name="pair_first", initial_memory={"X": 0})
+
+
+def _build_interleaver_first() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        ctx.spawn(_write_task)   # interleaver completes before the pair
+        ctx.spawn(_rmw_task)
+        ctx.sync()
+
+    return TaskProgram(main, name="interleaver_first", initial_memory={"X": 0})
+
+
+register(
+    SuiteCase(
+        name="sched_pair_first",
+        category="schedules",
+        description=(
+            "Read-modify-write pair completes before the interleaving write "
+            "appears in the serial trace; the violation exists only in other "
+            "schedules."
+        ),
+        build=_build_pair_first,
+        expected=frozenset({"X"}),
+    )
+)
+
+register(
+    SuiteCase(
+        name="sched_interleaver_first",
+        category="schedules",
+        description=(
+            "The interleaving write appears in the trace before the pair; "
+            "exercises the Figure 8 first-access-by-current-task checks."
+        ),
+        build=_build_interleaver_first,
+        expected=frozenset({"X"}),
+    )
+)
+
+
+# -- 4. Violation between cousin tasks across nesting levels ----------------------
+
+
+def _grandchild(ctx: TaskContext) -> None:
+    value = ctx.read("X")
+    ctx.write("X", value * 2)
+
+
+def _child_spawner(ctx: TaskContext) -> None:
+    ctx.spawn(_grandchild)
+    ctx.sync()
+
+
+def _build_cousins() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        ctx.spawn(_child_spawner)   # pair lives two levels down
+        ctx.spawn(_write_task)      # interleaver is a direct child
+        ctx.sync()
+
+    return TaskProgram(main, name="cousins", initial_memory={"X": 0})
+
+
+register(
+    SuiteCase(
+        name="sched_cousin_tasks",
+        category="schedules",
+        description=(
+            "The read-write pair lives in a grandchild task, the interleaving "
+            "write in an uncle task; parallelism crosses two DPST levels."
+        ),
+        build=_build_cousins,
+        expected=frozenset({"X"}),
+    )
+)

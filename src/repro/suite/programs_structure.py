@@ -1,0 +1,163 @@
+"""Suite category ``structure``: step-boundary and ordering subtleties.
+
+The atomic region of the paper's specification is the *step node* -- a
+maximal run of instructions without task-management constructs.  A spawn
+or sync therefore *ends* the region: accesses on either side of a spawn
+belong to different steps and never form a two-access pattern.  These
+programs pin that semantics down.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.program import TaskProgram
+from repro.runtime.task import TaskContext
+from repro.suite import SuiteCase, register
+
+
+def _writer(ctx: TaskContext) -> None:
+    ctx.write("X", 100)
+
+
+def _rmw(ctx: TaskContext) -> None:
+    value = ctx.read("X")
+    ctx.write("X", value + 1)
+
+
+# -- 1. A spawn splits the parent's pair: safe -----------------------------------
+
+
+def _build_spawn_splits_pair() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        value = ctx.read("X")     # step S_a
+        ctx.spawn(_writer)        # ends S_a
+        ctx.write("X", value + 1)  # step S_b: different atomic region
+        ctx.sync()
+
+    return TaskProgram(main, name="spawn_splits_pair", initial_memory={"X": 0})
+
+
+register(
+    SuiteCase(
+        name="struct_spawn_splits_pair",
+        category="structure",
+        description=(
+            "The parent reads X, spawns a writer, then writes X.  The spawn "
+            "ends the step, so read and write are in different atomic "
+            "regions: by the paper's specification this is NOT an atomicity "
+            "violation (the programmer inserted a task boundary)."
+        ),
+        build=_build_spawn_splits_pair,
+        expected=frozenset(),
+    )
+)
+
+
+# -- 2. Pair completes before the spawn: safe -----------------------------------------
+
+
+def _build_pair_before_spawn() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        value = ctx.read("X")
+        ctx.write("X", value + 1)   # pair completes in the pre-spawn step
+        ctx.spawn(_writer)
+        ctx.sync()
+
+    return TaskProgram(main, name="pair_before_spawn", initial_memory={"X": 0})
+
+
+register(
+    SuiteCase(
+        name="struct_pair_before_spawn",
+        category="structure",
+        description=(
+            "The parent's pair completes before any task exists; the "
+            "child's write is in series with it (the pre-spawn step is the "
+            "left, non-async child of the LCA)."
+        ),
+        build=_build_pair_before_spawn,
+        expected=frozenset(),
+    )
+)
+
+
+# -- 3. Pair in the continuation after a spawn: violation ---------------------------------
+
+
+def _build_pair_in_continuation() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        ctx.spawn(_writer)
+        value = ctx.read("X")        # continuation step, parallel with child
+        ctx.write("X", value + 1)
+        ctx.sync()
+
+    return TaskProgram(main, name="pair_in_continuation", initial_memory={"X": 0})
+
+
+register(
+    SuiteCase(
+        name="struct_pair_in_continuation",
+        category="structure",
+        description=(
+            "The pair lives in the parent's continuation step, which runs "
+            "logically in parallel with the spawned writer (the Figure 2 "
+            "S12-vs-S2 relationship)."
+        ),
+        build=_build_pair_in_continuation,
+        expected=frozenset({"X"}),
+    )
+)
+
+
+# -- 4. Sync between sibling spawns: safe ---------------------------------------------------
+
+
+def _build_sync_between_siblings() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        ctx.spawn(_rmw)
+        ctx.sync()
+        ctx.spawn(_writer)
+        ctx.sync()
+
+    return TaskProgram(main, name="sync_between_siblings", initial_memory={"X": 0})
+
+
+register(
+    SuiteCase(
+        name="struct_sync_between_siblings",
+        category="structure",
+        description=(
+            "Each sync closes the implicit finish scope, so the second "
+            "spawn's finish node is a later sibling: the tasks are in "
+            "series."
+        ),
+        build=_build_sync_between_siblings,
+        expected=frozenset(),
+    )
+)
+
+
+# -- 5. Two parallel pairs: violations in both directions --------------------------------------
+
+
+def _build_dueling_pairs() -> TaskProgram:
+    def main(ctx: TaskContext) -> None:
+        ctx.spawn(_rmw)
+        ctx.spawn(_rmw)
+        ctx.sync()
+
+    return TaskProgram(main, name="dueling_pairs", initial_memory={"X": 0})
+
+
+register(
+    SuiteCase(
+        name="struct_dueling_pairs",
+        category="structure",
+        description=(
+            "Two parallel read-modify-write pairs on one location: each "
+            "task's write interleaves the other's pair (the classic lost "
+            "update, RWW in both directions)."
+        ),
+        build=_build_dueling_pairs,
+        expected=frozenset({"X"}),
+    )
+)

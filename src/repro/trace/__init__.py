@@ -1,0 +1,47 @@
+"""Traces: recording, generation, replay, and interleaving exploration.
+
+* :class:`~repro.trace.trace.Trace` -- an ordered list of runtime events,
+  optionally paired with the DPST of the execution that produced it;
+* :mod:`~repro.trace.replay` -- feed a recorded trace to any checker
+  offline, including permuted variants;
+* :mod:`~repro.trace.generator` -- the paper's "trace generator that takes
+  the number of tasks and memory accesses as parameter": produces random
+  task-parallel programs/traces with controlled shape;
+* :mod:`~repro.trace.explore` -- ground truth: exhaustively enumerate the
+  legal schedules of a recorded execution (respecting series-parallel
+  structure and lock mutual exclusion) and report which locations exhibit
+  an atomicity violation in *some* schedule.  The paper's checker is
+  validated against this oracle: it must find, from one trace, everything
+  the explorer finds across all traces.
+"""
+
+from repro.trace.trace import Trace
+from repro.trace.replay import replay_trace, replay_memory_events
+from repro.trace.generator import GeneratorConfig, TraceGenerator
+from repro.trace.explore import (
+    InterleavingExplorer,
+    analytic_violation_locations,
+    explore_violation_locations,
+)
+from repro.trace.serialize import dump_trace, load_trace
+from repro.trace.visualize import (
+    render_step_table,
+    render_timeline,
+    render_violation_context,
+)
+
+__all__ = [
+    "Trace",
+    "replay_trace",
+    "replay_memory_events",
+    "GeneratorConfig",
+    "TraceGenerator",
+    "InterleavingExplorer",
+    "analytic_violation_locations",
+    "explore_violation_locations",
+    "dump_trace",
+    "load_trace",
+    "render_step_table",
+    "render_timeline",
+    "render_violation_context",
+]

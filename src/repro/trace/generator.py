@@ -1,0 +1,226 @@
+"""Random task-parallel program / trace generator (paper Section 4).
+
+The paper's evaluation mentions "a trace generator that takes the number
+of tasks and memory accesses as parameter and generates execution traces",
+used to demonstrate that the prototype detects all atomicity violations
+for a given input from a *single* trace.  This module reproduces that tool
+as a seeded generator of random :class:`~repro.runtime.program.TaskProgram`
+instances: running a generated program under any executor yields an
+execution trace of the configured shape, and the same program can be
+re-run under other schedules to cross-check schedule insensitivity.
+
+Shape controls (:class:`GeneratorConfig`): number of tasks, accesses per
+task, number of shared locations, write ratio, nesting depth, sync
+placement, explicit finish blocks, and locking.  ``consistent_locking``
+assigns each location a fixed lock (or none) that every access respects --
+the locking discipline under which the paper's lock rule is complete
+(see DESIGN.md); switching it off produces adversarial programs with
+ad-hoc critical sections.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.checker.annotations import AtomicAnnotations
+from repro.runtime.program import TaskProgram
+from repro.runtime.task import TaskContext
+
+# Spec node shapes (plain tuples so specs are printable and hashable):
+#   ("access", location, "read" | "write")
+#   ("locked", lock_name, (inner access specs...))
+#   ("spawn", (child spec...))
+#   ("sync",)
+#   ("finish", (inner spec...))
+Spec = Tuple[Any, ...]
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs of the random program generator.
+
+    ``tasks`` bounds the total number of spawned tasks (the root task is
+    not counted); ``accesses_per_task`` draws each task's access count from
+    ``[1, accesses_per_task]``; ``locations`` shared scalars named
+    ``("g", i)`` are accessed uniformly.
+    """
+
+    tasks: int = 4
+    accesses_per_task: int = 4
+    locations: int = 2
+    write_probability: float = 0.5
+    #: Maximum spawn nesting depth (1 = flat fork-join).
+    max_depth: int = 2
+    #: Probability that a task performs a sync between spawning children.
+    sync_probability: float = 0.3
+    #: Probability that a group of children is wrapped in an explicit finish.
+    finish_probability: float = 0.2
+    #: Number of distinct program locks (0 disables locking).
+    locks: int = 0
+    #: Probability that an access (or run of accesses) is inside a lock.
+    lock_probability: float = 0.5
+    #: When true, each location is protected by one fixed lock (or none),
+    #: and every access to it honours that lock.
+    consistent_locking: bool = True
+    seed: int = 0
+
+
+class TraceGenerator:
+    """Generates random task-parallel programs from a :class:`GeneratorConfig`."""
+
+    def __init__(self, config: Optional[GeneratorConfig] = None) -> None:
+        self.config = config or GeneratorConfig()
+
+    # -- spec generation ------------------------------------------------------
+
+    def generate_spec(self, seed: Optional[int] = None) -> Spec:
+        """The root task's spec tree, deterministic in the seed."""
+        config = self.config
+        rng = random.Random(config.seed if seed is None else seed)
+        budget = [config.tasks]
+        location_lock = self._assign_locks(rng)
+        root = self._gen_task(rng, budget, depth=0, location_lock=location_lock)
+        return ("task", tuple(root))
+
+    def _assign_locks(self, rng: random.Random) -> Dict[Tuple[str, int], Optional[str]]:
+        """Per-location lock assignment for consistent-locking mode."""
+        assignment: Dict[Tuple[str, int], Optional[str]] = {}
+        config = self.config
+        for index in range(config.locations):
+            location = ("g", index)
+            if config.locks > 0 and rng.random() < config.lock_probability:
+                assignment[location] = f"L{rng.randrange(config.locks)}"
+            else:
+                assignment[location] = None
+        return assignment
+
+    def _gen_task(
+        self,
+        rng: random.Random,
+        budget: List[int],
+        depth: int,
+        location_lock: Dict[Tuple[str, int], Optional[str]],
+    ) -> List[Spec]:
+        """One task's body: interleaved accesses, spawns, syncs."""
+        config = self.config
+        body: List[Spec] = []
+        accesses = rng.randint(1, max(1, config.accesses_per_task))
+        actions = ["access"] * accesses
+        if depth < config.max_depth:
+            # Interleave spawn opportunities among the accesses.
+            spawn_slots = rng.randint(0, 3)
+            actions += ["spawn"] * spawn_slots
+        rng.shuffle(actions)
+        spawned_since_sync = False
+        group: List[Spec] = []
+
+        def flush_group() -> None:
+            nonlocal group
+            if group:
+                body.extend(group)
+                group = []
+
+        for action in actions:
+            if action == "access":
+                group.append(self._gen_access(rng, location_lock))
+                flush_group()
+            elif action == "spawn" and budget[0] > 0:
+                budget[0] -= 1
+                child = self._gen_task(rng, budget, depth + 1, location_lock)
+                wrap_finish = rng.random() < config.finish_probability
+                spawn_spec: Spec = ("spawn", tuple(child))
+                if wrap_finish:
+                    body.append(("finish", (spawn_spec,)))
+                else:
+                    body.append(spawn_spec)
+                    spawned_since_sync = True
+                if spawned_since_sync and rng.random() < config.sync_probability:
+                    body.append(("sync",))
+                    spawned_since_sync = False
+        flush_group()
+        return body
+
+    def _gen_access(
+        self,
+        rng: random.Random,
+        location_lock: Dict[Tuple[str, int], Optional[str]],
+    ) -> Spec:
+        config = self.config
+        location = ("g", rng.randrange(max(1, config.locations)))
+        access_type = "write" if rng.random() < config.write_probability else "read"
+        access: Spec = ("access", location, access_type)
+        if config.consistent_locking:
+            lock = location_lock.get(location)
+            if lock is not None:
+                return ("locked", lock, (access,))
+            return access
+        if config.locks > 0 and rng.random() < config.lock_probability:
+            lock = f"L{rng.randrange(config.locks)}"
+            return ("locked", lock, (access,))
+        return access
+
+    # -- spec execution ------------------------------------------------------------
+
+    def program_from_spec(self, spec: Spec, name: str = "generated") -> TaskProgram:
+        """Wrap a spec tree in a runnable :class:`TaskProgram`."""
+        if spec[0] != "task":
+            raise ValueError(f"root spec must be a task, got {spec[0]!r}")
+        root_items = spec[1]
+
+        def body(ctx: TaskContext) -> None:
+            _run_items(ctx, root_items)
+
+        initial = {("g", i): 0 for i in range(self.config.locations)}
+        return TaskProgram(
+            body,
+            name=name,
+            initial_memory=initial,
+            annotations=AtomicAnnotations(),
+        )
+
+    def generate_program(self, seed: Optional[int] = None) -> TaskProgram:
+        """Generate a random runnable program."""
+        actual_seed = self.config.seed if seed is None else seed
+        spec = self.generate_spec(actual_seed)
+        return self.program_from_spec(spec, name=f"generated(seed={actual_seed})")
+
+    def generate_trace(self, seed: Optional[int] = None, executor=None):
+        """Generate a program, run it, and return the recorded trace."""
+        from repro.runtime.program import run_program
+
+        program = self.generate_program(seed)
+        result = run_program(program, executor=executor, record_trace=True)
+        return result.trace
+
+
+def _run_items(ctx: TaskContext, items: Sequence[Spec]) -> None:
+    """Interpret a spec item list against the TaskContext API."""
+    for item in items:
+        kind = item[0]
+        if kind == "access":
+            _, location, access_type = item
+            if access_type == "read":
+                ctx.read(location)
+            else:
+                ctx.write(location, ctx.task_id)
+        elif kind == "locked":
+            _, lock_name, inner = item
+            with ctx.lock(lock_name):
+                _run_items(ctx, inner)
+        elif kind == "spawn":
+            _, child_items = item
+            ctx.spawn(_child_body, child_items)
+        elif kind == "sync":
+            ctx.sync()
+        elif kind == "finish":
+            _, inner = item
+            with ctx.finish():
+                _run_items(ctx, inner)
+        else:
+            raise ValueError(f"unknown spec item {kind!r}")
+
+
+def _child_body(ctx: TaskContext, items: Sequence[Spec]) -> None:
+    _run_items(ctx, items)

@@ -1,0 +1,146 @@
+"""Trace (de)serialization: save an execution, replay it anywhere.
+
+The paper's artifact workflows (and ours) need executions to be portable:
+record once, then replay through different checkers, permute orders, or
+archive as regression goldens.  This module round-trips a
+:class:`~repro.trace.trace.Trace` *including its DPST* through plain
+JSON-compatible dictionaries.
+
+Location encoding: locations are hashable Python values (strings, ints,
+or tuples thereof).  JSON has no tuples, so locations are wrapped as
+``{"t": [...]}`` for tuples and ``{"v": scalar}`` otherwise, recursively —
+lossless for the location vocabulary the runtime produces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Hashable, List, Optional
+
+from repro.dpst import ArrayDPST, NodeKind, ROOT_ID
+from repro.dpst.base import DPSTBase
+from repro.errors import TraceError
+from repro.runtime.events import (
+    AcquireEvent,
+    MemoryEvent,
+    ReleaseEvent,
+    SyncEvent,
+    TaskBeginEvent,
+    TaskEndEvent,
+    TaskSpawnEvent,
+)
+from repro.trace.trace import Trace
+
+Location = Hashable
+
+_EVENT_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        TaskSpawnEvent,
+        TaskBeginEvent,
+        TaskEndEvent,
+        SyncEvent,
+        MemoryEvent,
+        AcquireEvent,
+        ReleaseEvent,
+    )
+}
+
+
+def encode_location(location: Location) -> Dict[str, Any]:
+    """Encode a location value as a JSON-safe tagged dict."""
+    if isinstance(location, tuple):
+        return {"t": [encode_location(item) for item in location]}
+    if location is None or isinstance(location, (str, int, float, bool)):
+        return {"v": location}
+    raise TraceError(f"unserializable location {location!r}")
+
+
+def decode_location(encoded: Dict[str, Any]) -> Location:
+    """Inverse of :func:`encode_location`."""
+    if "t" in encoded:
+        return tuple(decode_location(item) for item in encoded["t"])
+    if "v" in encoded:
+        return encoded["v"]
+    raise TraceError(f"malformed encoded location {encoded!r}")
+
+
+def dpst_to_dict(tree: DPSTBase) -> Dict[str, Any]:
+    """Flatten a DPST to its defining arrays (kind + parent per node)."""
+    return {
+        "layout": tree.layout_name,
+        "kinds": [int(tree.kind(node)) for node in tree.nodes()],
+        "parents": [tree.parent(node) for node in tree.nodes()],
+    }
+
+
+def dpst_from_dict(data: Dict[str, Any]) -> DPSTBase:
+    """Rebuild a DPST (always as the array layout) from its arrays."""
+    kinds = data["kinds"]
+    parents = data["parents"]
+    if not kinds or NodeKind(kinds[ROOT_ID]) is not NodeKind.FINISH:
+        raise TraceError("serialized DPST must start with a finish root")
+    tree = ArrayDPST()
+    for node in range(1, len(kinds)):
+        created = tree.add_node(parents[node], NodeKind(kinds[node]))
+        if created != node:
+            raise TraceError("serialized DPST nodes must be in insertion order")
+    return tree
+
+
+def event_to_dict(event: object) -> Dict[str, Any]:
+    """Encode one event as a tagged dict."""
+    row: Dict[str, Any] = {"type": type(event).__name__}
+    for name in event.__dataclass_fields__:  # type: ignore[attr-defined]
+        value = getattr(event, name)
+        if name == "location":
+            row[name] = encode_location(value)
+        elif name == "lockset":
+            row[name] = list(value)
+        else:
+            row[name] = value
+    return row
+
+
+def event_from_dict(row: Dict[str, Any]) -> object:
+    """Inverse of :func:`event_to_dict`."""
+    kind = row.get("type")
+    cls = _EVENT_TYPES.get(kind)
+    if cls is None:
+        raise TraceError(f"unknown event type {kind!r}")
+    kwargs = {k: v for k, v in row.items() if k != "type"}
+    if "location" in kwargs:
+        kwargs["location"] = decode_location(kwargs["location"])
+    if "lockset" in kwargs:
+        kwargs["lockset"] = tuple(kwargs["lockset"])
+    return cls(**kwargs)
+
+
+def trace_to_dict(trace: Trace) -> Dict[str, Any]:
+    """Encode a whole trace (events + DPST) as one JSON-safe dict."""
+    return {
+        "version": 1,
+        "events": [event_to_dict(event) for event in trace.events],
+        "dpst": None if trace.dpst is None else dpst_to_dict(trace.dpst),
+    }
+
+
+def trace_from_dict(data: Dict[str, Any]) -> Trace:
+    """Inverse of :func:`trace_to_dict`."""
+    if data.get("version") != 1:
+        raise TraceError(f"unsupported trace version {data.get('version')!r}")
+    events = [event_from_dict(row) for row in data["events"]]
+    dpst = None if data.get("dpst") is None else dpst_from_dict(data["dpst"])
+    return Trace(events, dpst=dpst)
+
+
+def dump_trace(trace: Trace, path: str) -> None:
+    """Write a trace to *path* as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace_to_dict(trace), handle)
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace previously written by :func:`dump_trace`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return trace_from_dict(json.load(handle))

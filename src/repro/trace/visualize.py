@@ -1,0 +1,166 @@
+"""Human-readable renderings of traces and violations.
+
+Debugging a concurrency report usually starts with two questions: *what
+did each task do, in what order?* and *where exactly is the triple?*
+This module renders both as plain text:
+
+* :func:`render_timeline` -- one lane per task, one column per event, in
+  global observation order::
+
+      task 0 | W(X)  s     s     .     .     .     .  R(X)
+      task 1 | .     .     .  R(X)  W(X)     .     .     .
+      task 2 | .     .     .     .     .  W(X)     .     .
+
+* :func:`render_step_table` -- per step node: owning task, access count,
+  distinct locations;
+* :func:`render_violation_context` -- the timeline filtered to one
+  violation's location, with the triple's three accesses marked.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.report import AtomicityViolation
+from repro.runtime.events import (
+    AcquireEvent,
+    MemoryEvent,
+    ReleaseEvent,
+    SyncEvent,
+    TaskBeginEvent,
+    TaskEndEvent,
+    TaskSpawnEvent,
+)
+from repro.trace.trace import Trace
+
+
+def _cell_for(event: object) -> Tuple[Optional[int], str]:
+    """(lane task id, cell text) for one event; None lane = skip."""
+    if isinstance(event, MemoryEvent):
+        letter = "W" if event.is_write else "R"
+        return event.task, f"{letter}({event.location!r})"
+    if isinstance(event, AcquireEvent):
+        return event.task, f"+{event.versioned_name}"
+    if isinstance(event, ReleaseEvent):
+        return event.task, f"-{event.versioned_name}"
+    if isinstance(event, TaskSpawnEvent):
+        return event.parent, f"spawn:{event.child}"
+    if isinstance(event, SyncEvent):
+        return event.task, "sync"
+    if isinstance(event, TaskBeginEvent):
+        return event.task, "begin"
+    if isinstance(event, TaskEndEvent):
+        return event.task, "end"
+    return None, ""
+
+
+def render_timeline(
+    trace: Trace,
+    include_task_events: bool = False,
+    max_columns: int = 60,
+    marks: Optional[Dict[int, str]] = None,
+) -> str:
+    """Render the trace as per-task lanes (one column per event).
+
+    ``marks`` maps event ``seq`` numbers to a marker string appended to
+    that cell (used by :func:`render_violation_context` to flag A1/A2/A3).
+    Long traces are truncated to ``max_columns`` events with an ellipsis
+    note.
+    """
+    marks = marks or {}
+    events: List[object] = []
+    for event in trace.events:
+        if isinstance(event, (MemoryEvent, AcquireEvent, ReleaseEvent)):
+            events.append(event)
+        elif include_task_events:
+            events.append(event)
+    truncated = len(events) > max_columns
+    events = events[:max_columns]
+
+    lanes: Dict[int, List[str]] = defaultdict(lambda: [""] * len(events))
+    for column, event in enumerate(events):
+        task, text = _cell_for(event)
+        if task is None:
+            continue
+        seq = getattr(event, "seq", None)
+        if seq in marks:
+            text += marks[seq]
+        lanes[task][column] = text
+
+    if not lanes:
+        return "(empty trace)"
+    widths = [
+        max((len(lanes[task][column]) for task in lanes), default=1) or 1
+        for column in range(len(events))
+    ]
+    lines = []
+    for task in sorted(lanes):
+        cells = [
+            (lanes[task][column] or ".").rjust(widths[column])
+            for column in range(len(events))
+        ]
+        lines.append(f"task {task} | " + "  ".join(cells))
+    if truncated:
+        lines.append(f"... ({max_columns} of more events shown)")
+    return "\n".join(lines)
+
+
+def render_step_table(trace: Trace) -> str:
+    """Per-step summary: owner task, access count, locations."""
+    from repro.bench.reporting import render_table
+
+    per_step: Dict[int, List[MemoryEvent]] = defaultdict(list)
+    for event in trace.memory_events():
+        per_step[event.step].append(event)
+    rows = []
+    for step in sorted(per_step):
+        events = per_step[step]
+        locations: Dict[object, None] = {}
+        for event in events:
+            locations.setdefault(event.location)
+        rows.append(
+            [
+                f"S{step}",
+                str(events[0].task),
+                str(len(events)),
+                ", ".join(repr(loc) for loc in list(locations)[:4])
+                + (" ..." if len(locations) > 4 else ""),
+            ]
+        )
+    return render_table(
+        ["step", "task", "accesses", "locations"], rows, title="step nodes"
+    )
+
+
+def render_violation_context(
+    trace: Trace, violation: AtomicityViolation, max_columns: int = 60
+) -> str:
+    """The timeline restricted to the violation's metadata location(s),
+    with the triple's accesses marked ``<A1>``/``<A2>``/``<A3>``.
+
+    Matching is by (step, access type, location): the first unclaimed
+    trace event matching each triple member gets the mark.
+    """
+    wanted = {violation.first.location, violation.second.location,
+              violation.third.location}
+    filtered = [
+        event for event in trace.memory_events() if event.location in wanted
+    ]
+    marks: Dict[int, str] = {}
+    for label, access in (("<A1>", violation.first), ("<A2>", violation.second),
+                          ("<A3>", violation.third)):
+        for event in filtered:
+            if event.seq in marks:
+                continue
+            if (
+                event.step == access.step
+                and event.access_type == access.access_type
+                and event.location == access.location
+            ):
+                marks[event.seq] = label
+                break
+    sub_trace = Trace(filtered, dpst=trace.dpst)
+    header = violation.describe()
+    timeline = render_timeline(sub_trace, max_columns=max_columns, marks=marks)
+    return header + "\n\n" + timeline

@@ -1,0 +1,124 @@
+"""The paper's 13 benchmark applications as task-parallel Python kernels.
+
+Table 1 of the paper evaluates five TBB applications from PARSEC
+(blackscholes, bodytrack, streamcluster, swaptions, fluidanimate), five
+geometry/graphics applications from PBBS (convexhull, delrefine,
+deltriang, nearestneigh, raycast -- originally Cilk, ported to TBB), and
+three from the Structured Parallel Programming book (karatsuba, kmeans,
+sort).  Each kernel here implements the same algorithm with the same task
+decomposition style at laptop scale, written against the instrumented
+:class:`~repro.runtime.task.TaskContext` API so that every shared-memory
+access is visible to the checkers.
+
+The kernels are deliberately *violation-free* (they are the overhead
+benchmarks, not the detection suite), which the test suite verifies, and
+they preserve the *qualitative* Table 1 characteristics that drive the
+paper's performance story:
+
+* blackscholes touches each location at most once per step -> zero LCA
+  queries;
+* kmeans and raycast issue many LCA queries with a high unique fraction
+  (poor cache locality for the LCA memo) -> highest checking overheads;
+* swaptions spawns the most tasks -> largest DPST;
+* sort/karatsuba are small divide-and-conquer kernels.
+
+Every workload takes an integer ``scale >= 1`` multiplying its input size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import WorkloadError
+from repro.runtime.program import TaskProgram
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """The paper's Table 1 row for a benchmark (for EXPERIMENTS.md).
+
+    ``locations``/``nodes``/``lcas`` are the paper's absolute counts;
+    ``unique_pct`` is the percentage of unique LCA queries (``None`` for
+    blackscholes's ``-NA-``).
+    """
+
+    locations: int
+    nodes: int
+    lcas: int
+    unique_pct: Optional[float]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One registered benchmark kernel."""
+
+    name: str
+    description: str
+    build: Callable[[int], TaskProgram]
+    paper: PaperRow
+    #: Scale used by unit tests (fast).
+    test_scale: int = 1
+    #: Scale used by the benchmark harness.
+    bench_scale: int = 2
+
+
+_REGISTRY: Dict[str, WorkloadSpec] = {}
+
+#: Table 1 ordering of the benchmarks.
+WORKLOAD_ORDER = [
+    "blackscholes",
+    "bodytrack",
+    "streamcluster",
+    "swaptions",
+    "fluidanimate",
+    "convexhull",
+    "delrefine",
+    "deltriang",
+    "karatsuba",
+    "kmeans",
+    "nearestneigh",
+    "raycast",
+    "sort",
+]
+
+
+def register(spec: WorkloadSpec) -> WorkloadSpec:
+    if spec.name in _REGISTRY:
+        raise WorkloadError(f"duplicate workload {spec.name!r}")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def _load() -> None:
+    from repro.workloads import (  # noqa: F401
+        blackscholes,
+        bodytrack,
+        streamcluster,
+        swaptions,
+        fluidanimate,
+        convexhull,
+        delrefine,
+        deltriang,
+        karatsuba,
+        kmeans,
+        nearestneigh,
+        raycast,
+        sort,
+    )
+
+
+def all_workloads() -> List[WorkloadSpec]:
+    """Every workload, in Table 1 order."""
+    _load()
+    return [_REGISTRY[name] for name in WORKLOAD_ORDER]
+
+
+def get(name: str) -> WorkloadSpec:
+    """Look up one workload by name."""
+    _load()
+    if name not in _REGISTRY:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]

@@ -1,0 +1,79 @@
+"""blackscholes -- PARSEC option pricing with ``parallel_for``.
+
+Prices a portfolio of European options with the Black-Scholes closed-form
+formula.  The TBB original is a ``parallel_for`` over options; each
+iteration reads the option's five parameters and writes its price, and *no
+location is ever touched twice by one step*.  Table 1 consequently reports
+**zero LCA queries** for blackscholes: the checker's first-access paths
+(Figures 7/8) never need a parallelism verdict when the single-access
+slots are still empty.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.runtime.program import TaskProgram
+from repro.runtime.task import TaskContext
+from repro.workloads import PaperRow, WorkloadSpec, register
+
+#: Options priced per chunk task.
+CHUNK = 8
+
+
+def _cnd(d: float) -> float:
+    """Cumulative normal distribution (Abramowitz-Stegun, as in PARSEC)."""
+    a1, a2, a3, a4, a5 = 0.319381530, -0.356563782, 1.781477937, -1.821255978, 1.330274429
+    sign = d < 0.0
+    d = abs(d)
+    k = 1.0 / (1.0 + 0.2316419 * d)
+    poly = k * (a1 + k * (a2 + k * (a3 + k * (a4 + k * a5))))
+    value = 1.0 - (1.0 / math.sqrt(2.0 * math.pi)) * math.exp(-0.5 * d * d) * poly
+    return 1.0 - value if sign else value
+
+
+def _price_chunk(ctx: TaskContext, lo: int, hi: int) -> None:
+    """One parallel_for chunk: price options [lo, hi)."""
+    for i in range(lo, hi):
+        spot = ctx.read(("S", i))
+        strike = ctx.read(("K", i))
+        rate = ctx.read(("r", i))
+        vol = ctx.read(("v", i))
+        time = ctx.read(("T", i))
+        d1 = (math.log(spot / strike) + (rate + 0.5 * vol * vol) * time) / (
+            vol * math.sqrt(time)
+        )
+        d2 = d1 - vol * math.sqrt(time)
+        call = spot * _cnd(d1) - strike * math.exp(-rate * time) * _cnd(d2)
+        ctx.write(("price", i), call)
+
+
+def build(scale: int = 1) -> TaskProgram:
+    """Build the blackscholes program: ``40 * scale`` options."""
+    count = 40 * scale
+    rng = random.Random(42)
+    initial = {}
+    for i in range(count):
+        initial[("S", i)] = rng.uniform(20.0, 120.0)
+        initial[("K", i)] = rng.uniform(20.0, 120.0)
+        initial[("r", i)] = rng.uniform(0.01, 0.06)
+        initial[("v", i)] = rng.uniform(0.1, 0.6)
+        initial[("T", i)] = rng.uniform(0.25, 2.0)
+
+    def main(ctx: TaskContext) -> None:
+        for lo in range(0, count, CHUNK):
+            ctx.spawn(_price_chunk, lo, min(lo + CHUNK, count))
+        ctx.sync()
+
+    return TaskProgram(main, name="blackscholes", initial_memory=initial)
+
+
+register(
+    WorkloadSpec(
+        name="blackscholes",
+        description="PARSEC option pricing; parallel_for, one access per location per step",
+        build=build,
+        paper=PaperRow(locations=10_000_000, nodes=1_352, lcas=0, unique_pct=None),
+    )
+)

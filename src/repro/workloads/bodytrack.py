@@ -1,0 +1,76 @@
+"""bodytrack -- PARSEC particle-filter body tracking.
+
+A particle filter tracking a 4-dof "pose" across frames: per frame,
+parallel per-particle tasks perturb the shared pose estimate, score it
+against the frame's observation (reads of the few shared pose/observation
+locations), and write their particle weight; the main task then normalizes
+the weights and updates the pose.  bodytrack is Table 1's
+*few-locations / many-tasks* benchmark (only 5,101 locations against
+915K DPST nodes) -- shared state is tiny, the task count is not.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.runtime.program import TaskProgram
+from repro.runtime.task import TaskContext
+from repro.workloads import PaperRow, WorkloadSpec, register
+
+#: Degrees of freedom of the tracked pose.
+DOF = 4
+
+#: Frames tracked.
+FRAMES = 3
+
+
+def _score_particle(ctx: TaskContext, frame: int, particle: int) -> None:
+    """Perturb the pose for one particle and score it against the frame."""
+    rng = random.Random((frame << 16) ^ particle)
+    error = 0.0
+    for d in range(DOF):
+        estimate = ctx.read(("pose", d))          # shared, read by every particle
+        observed = ctx.read(("obs", frame, d))
+        hypothesis = estimate + rng.gauss(0.0, 0.5)
+        error += (hypothesis - observed) ** 2
+        ctx.write(("hyp", frame, particle, d), hypothesis)
+    ctx.write(("w", frame, particle), math.exp(-0.5 * error))
+
+
+def build(scale: int = 1) -> TaskProgram:
+    """Build the bodytrack program: ``12 * scale`` particles, 3 frames."""
+    particles = 12 * scale
+    rng = random.Random(37)
+    initial = {("pose", d): 0.0 for d in range(DOF)}
+    for frame in range(FRAMES):
+        for d in range(DOF):
+            initial[("obs", frame, d)] = math.sin(0.7 * frame + d) + rng.gauss(0, 0.05)
+
+    def main(ctx: TaskContext) -> None:
+        for frame in range(FRAMES):
+            for particle in range(particles):
+                ctx.spawn(_score_particle, frame, particle)
+            ctx.sync()
+            # Weighted mean of the particle hypotheses becomes the new pose.
+            total = 0.0
+            for particle in range(particles):
+                total += ctx.read(("w", frame, particle))
+            for d in range(DOF):
+                mean = 0.0
+                for particle in range(particles):
+                    weight = ctx.read(("w", frame, particle))
+                    mean += weight * ctx.read(("hyp", frame, particle, d))
+                ctx.write(("pose", d), mean / total if total > 0 else 0.0)
+
+    return TaskProgram(main, name="bodytrack", initial_memory=initial)
+
+
+register(
+    WorkloadSpec(
+        name="bodytrack",
+        description="particle filter: many tasks sharing a tiny pose state",
+        build=build,
+        paper=PaperRow(locations=5_101, nodes=915_537, lcas=11_567, unique_pct=56.32),
+    )
+)

@@ -1,0 +1,354 @@
+"""Failure injection: buggy variants of the benchmark kernels.
+
+Each variant re-creates a *realistic* concurrency mistake in one of the
+13 kernels -- a missing lock, a split critical section, a read taken
+outside the lock, a premature read before a join.  The injected bug is
+precisely documented, and each variant records the family of locations
+the checker must implicate (``location_heads``: the first element of the
+tuple locations, or the scalar itself).
+
+These are the system's failure-injection tests: unlike the 36-program
+suite (small, synthetic), they demonstrate detection inside real kernels
+with hundreds of irrelevant accesses around the bug -- and that the
+checker implicates *only* the buggy locations (precision at scale).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Hashable, List, Tuple
+
+from repro.runtime.program import TaskProgram
+from repro.runtime.task import TaskContext
+
+Location = Hashable
+
+
+@dataclass(frozen=True)
+class BuggyVariant:
+    """One injected bug: builder plus the implicated location family."""
+
+    name: str
+    base_workload: str
+    description: str
+    build: Callable[[int], TaskProgram]
+    #: Heads of the locations the checker must (exclusively) implicate.
+    location_heads: FrozenSet[str]
+
+
+_VARIANTS: List[BuggyVariant] = []
+
+
+def register(variant: BuggyVariant) -> BuggyVariant:
+    _VARIANTS.append(variant)
+    return variant
+
+
+def all_variants() -> List[BuggyVariant]:
+    return list(_VARIANTS)
+
+
+def location_head(location: Location) -> str:
+    """The location's family name (tuple head or the scalar itself)."""
+    if isinstance(location, tuple) and location:
+        return str(location[0])
+    return str(location)
+
+
+# ---------------------------------------------------------------------------
+# kmeans: reduction without the cluster lock
+# ---------------------------------------------------------------------------
+
+
+def _kmeans_unlocked_chunk(ctx: TaskContext, lo: int, hi: int, k: int) -> None:
+    for i in range(lo, hi):
+        px = ctx.read(("px", i))
+        py = ctx.read(("py", i))
+        best, best_dist = 0, float("inf")
+        for j in range(k):
+            dist = (px - ctx.read(("cx", j))) ** 2 + (py - ctx.read(("cy", j))) ** 2
+            if dist < best_dist:
+                best, best_dist = j, dist
+        # BUG: the per-cluster lock is missing around the accumulation.
+        ctx.write(("sumx", best), ctx.read(("sumx", best)) + px)
+        ctx.write(("sumy", best), ctx.read(("sumy", best)) + py)
+        ctx.write(("count", best), ctx.read(("count", best)) + 1)
+
+
+def build_kmeans_unlocked(scale: int = 1) -> TaskProgram:
+    points, k = 12 * scale, 3
+    rng = random.Random(5)
+    initial = {}
+    for i in range(points):
+        initial[("px", i)] = rng.uniform(0.0, 100.0)
+        initial[("py", i)] = rng.uniform(0.0, 100.0)
+
+    def main(ctx: TaskContext) -> None:
+        for j in range(k):
+            ctx.write(("cx", j), ctx.read(("px", j)))
+            ctx.write(("cy", j), ctx.read(("py", j)))
+            ctx.write(("sumx", j), 0.0)
+            ctx.write(("sumy", j), 0.0)
+            ctx.write(("count", j), 0)
+        for lo in range(0, points, 2):
+            ctx.spawn(_kmeans_unlocked_chunk, lo, min(lo + 2, points), k)
+        ctx.sync()
+
+    return TaskProgram(main, name="kmeans-unlocked", initial_memory=initial)
+
+
+register(
+    BuggyVariant(
+        name="kmeans_unlocked_reduction",
+        base_workload="kmeans",
+        description="per-cluster accumulation without the cluster lock "
+        "(lost updates on sumx/sumy/count)",
+        build=build_kmeans_unlocked,
+        location_heads=frozenset({"sumx", "sumy", "count"}),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# streamcluster: batch cost accumulated in many small critical sections
+# ---------------------------------------------------------------------------
+
+
+def _stream_split_cs_chunk(ctx: TaskContext, lo: int, hi: int) -> None:
+    center_count = ctx.read(("centers_n",))
+    for i in range(lo, hi):
+        px = ctx.read(("sx", i))
+        py = ctx.read(("sy", i))
+        best_cost = float("inf")
+        for c in range(center_count):
+            cost = (px - ctx.read(("centerx", c))) ** 2 + (
+                py - ctx.read(("centery", c))
+            ) ** 2
+            best_cost = min(best_cost, cost)
+        # BUG: one critical section *per point* splits the step's
+        # read-modify-writes of total_cost across several critical
+        # sections; a parallel chunk's update can interleave between them
+        # (Section 3.3's split-critical-section pattern at kernel scale).
+        with ctx.lock("batch_cost"):
+            ctx.write(("total_cost",), ctx.read(("total_cost",)) + best_cost)
+
+
+def build_streamcluster_split_cs(scale: int = 1) -> TaskProgram:
+    points = 12 * scale
+    rng = random.Random(31)
+    initial = {("total_cost",): 0.0, ("centers_n",): 1}
+    initial[("centerx", 0)] = 50.0
+    initial[("centery", 0)] = 50.0
+    for i in range(points):
+        initial[("sx", i)] = rng.uniform(0.0, 100.0)
+        initial[("sy", i)] = rng.uniform(0.0, 100.0)
+
+    def main(ctx: TaskContext) -> None:
+        for lo in range(0, points, 3):
+            ctx.spawn(_stream_split_cs_chunk, lo, min(lo + 3, points))
+        ctx.sync()
+
+    return TaskProgram(main, name="streamcluster-splitcs", initial_memory=initial)
+
+
+register(
+    BuggyVariant(
+        name="streamcluster_split_critical_sections",
+        base_workload="streamcluster",
+        description="batch cost updated in one critical section per point: "
+        "the step's accumulation is splittable by parallel chunks",
+        build=build_streamcluster_split_cs,
+        location_heads=frozenset({"total_cost"}),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# delrefine: cavity read outside the mesh lock
+# ---------------------------------------------------------------------------
+
+
+def _refine_racy(ctx: TaskContext, triangle: int) -> None:
+    quality = ctx.read(("quality", triangle))
+    # BUG: neighbour qualities are read while parallel refiners mutate
+    # them under the mesh lock (the bug the shipped kernel avoids by
+    # snapshotting in the coordinator).
+    neighbour_sum = 0.0
+    for offset in (1, 2, 3):
+        neighbour = ctx.read(("neighbor", triangle, offset))
+        if neighbour >= 0:
+            neighbour_sum += ctx.read(("quality", neighbour))
+    with ctx.lock("mesh"):
+        count = ctx.read(("tri_n",))
+        ctx.write(("tri_n",), count + 1)
+        ctx.write(("quality", triangle), quality + 0.3 + 0.1 * neighbour_sum)
+        ctx.write(("quality", count), 1.0)
+
+
+def build_delrefine_racy_cavity(scale: int = 1) -> TaskProgram:
+    seeds = 8 * scale
+    rng = random.Random(41)
+    initial = {("tri_n",): seeds}
+    for t in range(seeds):
+        initial[("quality", t)] = rng.uniform(0.1, 0.45)  # all bad
+        for offset in (1, 2, 3):
+            neighbour = rng.randrange(seeds)
+            initial[("neighbor", t, offset)] = neighbour if neighbour != t else -1
+
+    def main(ctx: TaskContext) -> None:
+        count = ctx.read(("tri_n",))
+        for t in range(count):
+            ctx.spawn(_refine_racy, t)
+        ctx.sync()
+
+    return TaskProgram(main, name="delrefine-racy", initial_memory=initial)
+
+
+register(
+    BuggyVariant(
+        name="delrefine_racy_cavity_read",
+        base_workload="delrefine",
+        description="neighbour qualities read unlocked while parallel "
+        "refiners update them inside the mesh lock",
+        build=build_delrefine_racy_cavity,
+        location_heads=frozenset({"quality"}),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# deltriang: location walk over mutable links
+# ---------------------------------------------------------------------------
+
+
+def _insert_walk_mutable(ctx: TaskContext, point: int, px: float, py: float) -> None:
+    # BUG: the walk reads tlink[0] unlocked...
+    entry = ctx.read(("tlink", 0))
+    with ctx.lock("mesh"):
+        count = ctx.read(("tri_n",))
+        ctx.write(("tri_n",), count + 1)
+        ctx.write(("tcx", count), px)
+        ctx.write(("tcy", count), py)
+        # ...and the split *updates* tlink[0] in a separate critical
+        # section from the read: walk-then-update without a consistent
+        # snapshot.
+        ctx.write(("tlink", 0), count if entry < 0 else entry)
+
+
+def build_deltriang_mutable_walk(scale: int = 1) -> TaskProgram:
+    points = 8 * scale
+    rng = random.Random(43)
+    initial = {("tri_n",): 1, ("tcx", 0): 50.0, ("tcy", 0): 50.0, ("tlink", 0): -1}
+    inserts = [
+        (i, rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)) for i in range(points)
+    ]
+
+    def main(ctx: TaskContext) -> None:
+        for point, px, py in inserts:
+            ctx.spawn(_insert_walk_mutable, point, px, py)
+        ctx.sync()
+
+    return TaskProgram(main, name="deltriang-mutwalk", initial_memory=initial)
+
+
+register(
+    BuggyVariant(
+        name="deltriang_walk_then_update",
+        base_workload="deltriang",
+        description="point location reads the entry link unlocked, the "
+        "locked split updates it: stale-walk insertion",
+        build=build_deltriang_mutable_walk,
+        location_heads=frozenset({"tlink"}),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# swaptions: aggregation without the per-swaption lock
+# ---------------------------------------------------------------------------
+
+
+def _trial_unlocked(ctx: TaskContext, trial: int) -> None:
+    rng = random.Random(trial)
+    payoff = max(0.0, rng.gauss(0.01, 0.02))
+    ctx.write(("payoff", trial), payoff)
+    # BUG: missing the agg lock around sum / sum2.
+    ctx.write(("sum",), ctx.read(("sum",)) + payoff)
+    ctx.write(("sum2",), ctx.read(("sum2",)) + payoff * payoff)
+
+
+def build_swaptions_unlocked(scale: int = 1) -> TaskProgram:
+    trials = 10 * scale
+    initial = {("sum",): 0.0, ("sum2",): 0.0}
+
+    def main(ctx: TaskContext) -> None:
+        for trial in range(trials):
+            ctx.spawn(_trial_unlocked, trial)
+        ctx.sync()
+
+    return TaskProgram(main, name="swaptions-unlocked", initial_memory=initial)
+
+
+register(
+    BuggyVariant(
+        name="swaptions_unlocked_aggregation",
+        base_workload="swaptions",
+        description="Monte-Carlo aggregation without the aggregate lock",
+        build=build_swaptions_unlocked,
+        location_heads=frozenset({"sum", "sum2"}),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# fluidanimate: premature read of the double buffer (missing sync)
+# ---------------------------------------------------------------------------
+
+
+def _density_then_read(ctx: TaskContext, row: int, cols: int) -> None:
+    for col in range(cols):
+        ctx.write(("rho2", row, col), ctx.read(("rho", row, col)) * 0.5)
+
+
+def _premature_summary(ctx: TaskContext, rows: int, cols: int) -> None:
+    total = 0.0
+    for row in range(rows):
+        for col in range(cols):
+            total += ctx.read(("rho2", row, col))
+            total += ctx.read(("rho2", row, col))  # re-read: snapshot pair
+    ctx.write(("summary",), total)
+
+
+def build_fluidanimate_missing_sync(scale: int = 1) -> TaskProgram:
+    rows, cols = 4 * scale, 4
+    rng = random.Random(17)
+    initial = {
+        ("rho", r, c): rng.uniform(0.5, 2.0) for r in range(rows) for c in range(cols)
+    }
+    for r in range(rows):
+        for c in range(cols):
+            initial[("rho2", r, c)] = 0.0
+
+    def main(ctx: TaskContext) -> None:
+        for row in range(rows):
+            ctx.spawn(_density_then_read, row, cols)
+        # BUG: the summary task is spawned *before* the sync, so it runs
+        # logically in parallel with the density writers and its repeated
+        # reads of rho2 can straddle their updates.
+        ctx.spawn(_premature_summary, rows, cols)
+        ctx.sync()
+
+    return TaskProgram(main, name="fluidanimate-nosync", initial_memory=initial)
+
+
+register(
+    BuggyVariant(
+        name="fluidanimate_missing_sync",
+        base_workload="fluidanimate",
+        description="summary reader spawned before the join of the density "
+        "pass: torn snapshot of the double buffer",
+        build=build_fluidanimate_missing_sync,
+        location_heads=frozenset({"rho2"}),
+    )
+)

@@ -1,0 +1,92 @@
+"""convexhull -- PBBS 2-D convex hull (quickhull, divide and conquer).
+
+Recursive quickhull over a shared point array: each task scans its subset
+for the farthest point from the dividing chord (re-reading shared
+coordinates -- the same point locations are visited by many steps along
+the recursion, producing the 4.31M LCA queries of Table 1), then spawns
+the two sub-hulls.  Hull vertices are appended to a shared output list
+under a lock.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.runtime.program import TaskProgram
+from repro.runtime.task import TaskContext
+from repro.workloads import PaperRow, WorkloadSpec, register
+
+
+def _cross(ox: float, oy: float, ax: float, ay: float, bx: float, by: float) -> float:
+    """Signed area of the (o, a, b) triangle: >0 when b is left of o->a."""
+    return (ax - ox) * (by - oy) - (ay - oy) * (bx - ox)
+
+
+def _append_hull(ctx: TaskContext, index: int) -> None:
+    """Append a hull vertex index to the shared output (locked)."""
+    with ctx.lock("hull"):
+        count = ctx.read(("hull_n",))
+        ctx.write(("hull", count), index)
+        ctx.write(("hull_n",), count + 1)
+
+
+def _quickhull(
+    ctx: TaskContext, subset: Tuple[int, ...], a: int, b: int
+) -> None:
+    """Expand the hull edge (a, b) with the points of *subset* above it."""
+    ax, ay = ctx.read(("px", a)), ctx.read(("py", a))
+    bx, by = ctx.read(("px", b)), ctx.read(("py", b))
+    farthest = -1
+    far_dist = 0.0
+    above: List[int] = []
+    for i in subset:
+        x, y = ctx.read(("px", i)), ctx.read(("py", i))
+        side = _cross(ax, ay, bx, by, x, y)
+        if side > 1e-12:
+            above.append(i)
+            if side > far_dist:
+                far_dist = side
+                farthest = i
+    if farthest < 0:
+        return
+    _append_hull(ctx, farthest)
+    ctx.spawn(_quickhull, tuple(above), a, farthest)
+    ctx.spawn(_quickhull, tuple(above), farthest, b)
+    ctx.sync()
+
+
+def build(scale: int = 1) -> TaskProgram:
+    """Build the convexhull program: ``28 * scale`` random points."""
+    count = 28 * scale
+    rng = random.Random(23)
+    initial = {("hull_n",): 0}
+    for i in range(count):
+        initial[("px", i)] = rng.uniform(0.0, 100.0)
+        initial[("py", i)] = rng.uniform(0.0, 100.0)
+
+    def main(ctx: TaskContext) -> None:
+        # Extreme points in x start the hull.
+        xs = [(ctx.read(("px", i)), i) for i in range(count)]
+        left = min(xs)[1]
+        right = max(xs)[1]
+        _append_hull(ctx, left)
+        _append_hull(ctx, right)
+        everything = tuple(i for i in range(count) if i not in (left, right))
+        ctx.spawn(_quickhull, everything, left, right)
+        ctx.spawn(_quickhull, everything, right, left)
+        ctx.sync()
+
+    return TaskProgram(main, name="convexhull", initial_memory=initial)
+
+
+register(
+    WorkloadSpec(
+        name="convexhull",
+        description="quickhull divide and conquer over a shared point array",
+        build=build,
+        paper=PaperRow(
+            locations=6_280_000, nodes=91_170_000, lcas=4_310_000, unique_pct=62.11
+        ),
+    )
+)

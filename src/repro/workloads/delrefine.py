@@ -1,0 +1,98 @@
+"""delrefine -- PBBS Delaunay mesh refinement (worklist style).
+
+Iterative refinement of a triangle mesh's quality: each round, parallel
+tasks take one *bad* triangle each, read its neighbourhood (shared
+triangle records, re-read across rounds -- delrefine issues almost one LCA
+query per location in Table 1: 8.19M queries over 9.12M locations), and
+retriangulate the cavity by splitting the triangle.  Mesh mutation -- the
+split replaces one triangle with two -- happens inside a critical section,
+as in lock-based refinement implementations.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.runtime.program import TaskProgram
+from repro.runtime.task import TaskContext
+from repro.workloads import PaperRow, WorkloadSpec, register
+
+#: Quality threshold below which a triangle is "bad" and gets refined.
+QUALITY_THRESHOLD = 0.5
+
+#: Refinement rounds.
+ROUNDS = 2
+
+
+def _refine_triangle(ctx: TaskContext, triangle: int, neighbour_sum: float) -> None:
+    """Split one bad triangle, redistributing quality into two children.
+
+    ``neighbour_sum`` is the cavity snapshot taken by the coordinating
+    task before the round was spawned (parallel refiners mutate neighbour
+    quality, so reading it here would be the very read/locked-write
+    atomicity violation the checker exists to flag).
+    """
+    quality = ctx.read(("quality", triangle))
+    if quality >= QUALITY_THRESHOLD:
+        return  # another round already fixed it
+    improvement = 0.3 + 0.1 * (neighbour_sum / 3.0)
+    with ctx.lock("mesh"):
+        count = ctx.read(("tri_n",))
+        child = count
+        ctx.write(("tri_n",), count + 1)
+        ctx.write(("quality", triangle), quality + improvement)
+        ctx.write(("quality", child), quality + improvement * 0.8)
+        for offset in (1, 2, 3):
+            ctx.write(("neighbor", child, offset), triangle if offset == 1 else -1)
+
+
+def build(scale: int = 1) -> TaskProgram:
+    """Build the delrefine program: ``14 * scale`` seed triangles, 2 rounds."""
+    seeds = 14 * scale
+    capacity = seeds * 8
+    rng = random.Random(41)
+    initial = {("tri_n",): seeds}
+    for t in range(seeds):
+        initial[("quality", t)] = rng.uniform(0.1, 0.9)
+        for offset in (1, 2, 3):
+            neighbour = rng.randrange(-1, seeds)
+            initial[("neighbor", t, offset)] = neighbour if neighbour != t else -1
+    for t in range(seeds, capacity):
+        initial[("quality", t)] = 1.0
+
+    def main(ctx: TaskContext) -> None:
+        for _ in range(ROUNDS):
+            count = ctx.read(("tri_n",))
+            bad = []
+            for t in range(count):
+                if ctx.read(("quality", t)) < QUALITY_THRESHOLD:
+                    bad.append(t)
+            # Cavity snapshots are taken for the whole round *before* any
+            # refiner is spawned: once the first refiner is running, the
+            # coordinator's reads of the mesh would race with the locked
+            # splits (a main-vs-refiner atomicity violation).
+            snapshots = []
+            for t in bad:
+                neighbour_sum = 0.0
+                for offset in (1, 2, 3):
+                    neighbour = ctx.read(("neighbor", t, offset))
+                    if neighbour >= 0:
+                        neighbour_sum += ctx.read(("quality", neighbour))
+                snapshots.append(neighbour_sum)
+            for t, neighbour_sum in zip(bad, snapshots):
+                ctx.spawn(_refine_triangle, t, neighbour_sum)
+            ctx.sync()
+
+    return TaskProgram(main, name="delrefine", initial_memory=initial)
+
+
+register(
+    WorkloadSpec(
+        name="delrefine",
+        description="worklist-parallel mesh refinement with locked splits",
+        build=build,
+        paper=PaperRow(
+            locations=9_120_000, nodes=4_870_000, lcas=8_190_000, unique_pct=65.76
+        ),
+    )
+)

@@ -1,0 +1,111 @@
+"""kmeans -- k-means clustering (SPP book).
+
+Lloyd's algorithm: each iteration fans out chunk tasks that read *every*
+centroid for *every* point (the shared centroid locations are re-read by
+every step of every iteration -- the source of kmeans's Table 1 profile:
+18.29M LCA queries of which **83.86% are unique**, the worst cache
+behaviour in the suite), then accumulate their chunk's partial sums into
+shared per-cluster accumulators inside critical sections.  The main task
+recomputes centroids between iterations.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.runtime.program import TaskProgram
+from repro.runtime.task import TaskContext
+from repro.workloads import PaperRow, WorkloadSpec, register
+
+#: Points assigned per chunk task.  One point per task maximizes the
+#: number of distinct (step, step) parallelism queries; even so, the
+#: paper's 83.86%-unique profile is a full-scale phenomenon (millions of
+#: locations each contributing a few never-repeated query pairs) that a
+#: laptop-scale input cannot reach -- see EXPERIMENTS.md.
+CHUNK = 1
+
+#: Number of clusters.
+K = 4
+
+#: Lloyd iterations.
+ITERATIONS = 2
+
+
+def _init_centroid(ctx: TaskContext, j: int, seed_point: int) -> None:
+    """Seed centroid j from one of the input points."""
+    ctx.write(("cx", j), ctx.read(("px", seed_point)))
+    ctx.write(("cy", j), ctx.read(("py", seed_point)))
+
+
+def _assign_chunk(ctx: TaskContext, lo: int, hi: int) -> None:
+    """Assign points [lo, hi) to the nearest centroid and accumulate."""
+    partial = {j: [0.0, 0.0, 0] for j in range(K)}
+    for i in range(lo, hi):
+        px = ctx.read(("px", i))
+        py = ctx.read(("py", i))
+        best, best_dist = 0, float("inf")
+        for j in range(K):
+            cx = ctx.read(("cx", j))       # shared, re-read by every step
+            cy = ctx.read(("cy", j))
+            dist = (px - cx) ** 2 + (py - cy) ** 2
+            if dist < best_dist:
+                best, best_dist = j, dist
+        ctx.write(("assign", i), best)
+        partial[best][0] += px
+        partial[best][1] += py
+        partial[best][2] += 1
+    for j in range(K):
+        sx, sy, count = partial[j]
+        if count == 0:
+            continue
+        with ctx.lock(f"cluster{j}"):
+            ctx.write(("sumx", j), ctx.read(("sumx", j)) + sx)
+            ctx.write(("sumy", j), ctx.read(("sumy", j)) + sy)
+            ctx.write(("count", j), ctx.read(("count", j)) + count)
+
+
+def build(scale: int = 1) -> TaskProgram:
+    """Build the kmeans program: ``24 * scale`` 2-D points, 4 clusters."""
+    points = 24 * scale
+    rng = random.Random(5)
+    initial = {}
+    for i in range(points):
+        initial[("px", i)] = rng.uniform(0.0, 100.0)
+        initial[("py", i)] = rng.uniform(0.0, 100.0)
+
+    def main(ctx: TaskContext) -> None:
+        # Parallel centroid initialization (as real kmeans kernels do).
+        # Side effect on the analysis: each centroid's first accessor is a
+        # *different* step, so later steps' parallelism queries pair with
+        # distinct partners per location -- the high unique-LCA-query
+        # profile Table 1 reports for kmeans.
+        for j in range(K):
+            ctx.spawn(_init_centroid, j, j * (points // K))
+        ctx.sync()
+        for _ in range(ITERATIONS):
+            for j in range(K):
+                ctx.write(("sumx", j), 0.0)
+                ctx.write(("sumy", j), 0.0)
+                ctx.write(("count", j), 0)
+            for lo in range(0, points, CHUNK):
+                ctx.spawn(_assign_chunk, lo, min(lo + CHUNK, points))
+            ctx.sync()
+            for j in range(K):
+                count = ctx.read(("count", j))
+                if count:
+                    ctx.write(("cx", j), ctx.read(("sumx", j)) / count)
+                    ctx.write(("cy", j), ctx.read(("sumy", j)) / count)
+
+    return TaskProgram(main, name="kmeans", initial_memory=initial)
+
+
+register(
+    WorkloadSpec(
+        name="kmeans",
+        description="Lloyd's k-means; every step re-reads every centroid",
+        build=build,
+        paper=PaperRow(
+            locations=40_000_000, nodes=220_788, lcas=18_290_000, unique_pct=83.86
+        ),
+    )
+)

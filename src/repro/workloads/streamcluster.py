@@ -1,0 +1,95 @@
+"""streamcluster -- PARSEC online k-median clustering.
+
+Processes the input stream in batches: for each batch, parallel chunk
+tasks read the *current shared set of centers* (re-read by every chunk of
+every batch -- the half-unique LCA traffic of Table 1), assign each of
+their points to the cheapest center and write per-point cost/assignment;
+the main task then decides, from the accumulated batch cost, whether the
+most expensive point of the batch is opened as a new center.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.runtime.program import TaskProgram
+from repro.runtime.task import TaskContext
+from repro.workloads import PaperRow, WorkloadSpec, register
+
+#: Points per batch.
+BATCH = 12
+
+#: Points per chunk task within a batch.
+CHUNK = 3
+
+
+def _assign_chunk(ctx: TaskContext, lo: int, hi: int) -> None:
+    """Assign points [lo, hi) of the stream to the nearest open center."""
+    center_count = ctx.read(("centers_n",))
+    chunk_cost = 0.0
+    for i in range(lo, hi):
+        px = ctx.read(("sx", i))
+        py = ctx.read(("sy", i))
+        best, best_cost = 0, float("inf")
+        for c in range(center_count):
+            cx = ctx.read(("centerx", c))
+            cy = ctx.read(("centery", c))
+            cost = (px - cx) ** 2 + (py - cy) ** 2
+            if cost < best_cost:
+                best, best_cost = c, cost
+        ctx.write(("assign", i), best)
+        ctx.write(("cost", i), best_cost)
+        chunk_cost += best_cost
+    # One critical section per chunk: a step must not split its shared
+    # read-modify-write across several critical sections (that is exactly
+    # the atomicity violation the checker flags).
+    with ctx.lock("batch_cost"):
+        ctx.write(("total_cost",), ctx.read(("total_cost",)) + chunk_cost)
+
+
+def build(scale: int = 1) -> TaskProgram:
+    """Build the streamcluster program: ``3 * scale`` batches of 12 points."""
+    batches = 3 * scale
+    stream = batches * BATCH
+    rng = random.Random(31)
+    initial = {("total_cost",): 0.0, ("centers_n",): 1}
+    initial[("centerx", 0)] = 50.0
+    initial[("centery", 0)] = 50.0
+    for i in range(stream):
+        initial[("sx", i)] = rng.uniform(0.0, 100.0)
+        initial[("sy", i)] = rng.uniform(0.0, 100.0)
+
+    def main(ctx: TaskContext) -> None:
+        for batch in range(batches):
+            base = batch * BATCH
+            ctx.write(("total_cost",), 0.0)
+            for lo in range(base, base + BATCH, CHUNK):
+                ctx.spawn(_assign_chunk, lo, min(lo + CHUNK, base + BATCH))
+            ctx.sync()
+            # Open the batch's most expensive point as a new center when the
+            # batch cost exceeds the opening threshold (simplified facility
+            # cost rule).
+            if ctx.read(("total_cost",)) > 1500.0:
+                worst, worst_cost = base, -1.0
+                for i in range(base, base + BATCH):
+                    cost = ctx.read(("cost", i))
+                    if cost > worst_cost:
+                        worst, worst_cost = i, cost
+                count = ctx.read(("centers_n",))
+                ctx.write(("centerx", count), ctx.read(("sx", worst)))
+                ctx.write(("centery", count), ctx.read(("sy", worst)))
+                ctx.write(("centers_n",), count + 1)
+
+    return TaskProgram(main, name="streamcluster", initial_memory=initial)
+
+
+register(
+    WorkloadSpec(
+        name="streamcluster",
+        description="batched online clustering against shared centers",
+        build=build,
+        paper=PaperRow(
+            locations=4_580_000, nodes=530_952, lcas=234_781, unique_pct=49.87
+        ),
+    )
+)

@@ -1,0 +1,91 @@
+"""swaptions -- PARSEC HJM Monte-Carlo swaption pricing.
+
+Prices a handful of swaptions by simulating many interest-rate paths.
+The TBB original partitions trials recursively; here every *single trial*
+is its own task, spawned through a divide-and-conquer splitter -- which is
+why swaptions owns the largest DPST in Table 1 (144M nodes on the paper's
+inputs) and, together with its many per-trial result locations, one of the
+highest checking overheads in Figure 13.  Each trial writes its own payoff
+slot and then accumulates sum and sum-of-squares into per-swaption
+aggregates inside one critical section.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.runtime.program import TaskProgram
+from repro.runtime.task import TaskContext
+from repro.workloads import PaperRow, WorkloadSpec, register
+
+#: Number of swaptions priced.
+SWAPTIONS = 3
+
+#: Simulated forward-curve steps per trial.
+CURVE_STEPS = 6
+
+
+def _simulate_trial(ctx: TaskContext, swaption: int, trial: int) -> None:
+    """One Monte-Carlo path: evolve the forward rate, discount the payoff."""
+    strike = ctx.read(("strike", swaption))
+    rate = ctx.read(("rate", swaption))
+    vol = ctx.read(("vol", swaption))
+    rng = random.Random((swaption << 20) ^ trial)
+    forward = rate
+    discount = 1.0
+    for _ in range(CURVE_STEPS):
+        shock = rng.gauss(0.0, 1.0)
+        forward = max(1e-6, forward + vol * shock * 0.1)
+        discount *= math.exp(-forward * 0.25)
+    payoff = max(0.0, forward - strike) * discount
+    ctx.write(("payoff", swaption, trial), payoff)
+    with ctx.lock(f"agg{swaption}"):
+        ctx.write(("sum", swaption), ctx.read(("sum", swaption)) + payoff)
+        ctx.write(("sum2", swaption), ctx.read(("sum2", swaption)) + payoff * payoff)
+
+
+def _spawn_range(ctx: TaskContext, swaption: int, lo: int, hi: int) -> None:
+    """Recursive splitter: one leaf task per trial (maximal DPST)."""
+    if hi - lo == 1:
+        _simulate_trial(ctx, swaption, lo)
+        return
+    mid = (lo + hi) // 2
+    ctx.spawn(_spawn_range, swaption, lo, mid)
+    ctx.spawn(_spawn_range, swaption, mid, hi)
+    ctx.sync()
+
+
+def build(scale: int = 1) -> TaskProgram:
+    """Build the swaptions program: 3 swaptions x ``16 * scale`` trials."""
+    trials = 16 * scale
+    rng = random.Random(13)
+    initial = {}
+    for s in range(SWAPTIONS):
+        initial[("strike", s)] = rng.uniform(0.02, 0.06)
+        initial[("rate", s)] = rng.uniform(0.02, 0.06)
+        initial[("vol", s)] = rng.uniform(0.1, 0.4)
+        initial[("sum", s)] = 0.0
+        initial[("sum2", s)] = 0.0
+
+    def main(ctx: TaskContext) -> None:
+        for s in range(SWAPTIONS):
+            ctx.spawn(_spawn_range, s, 0, trials)
+        ctx.sync()
+        for s in range(SWAPTIONS):
+            total = ctx.read(("sum", s))
+            ctx.write(("price", s), total / trials)
+
+    return TaskProgram(main, name="swaptions", initial_memory=initial)
+
+
+register(
+    WorkloadSpec(
+        name="swaptions",
+        description="HJM Monte-Carlo pricing; one task per trial (largest DPST)",
+        build=build,
+        paper=PaperRow(
+            locations=26_760_000, nodes=144_000_000, lcas=9_870_000, unique_pct=64.41
+        ),
+    )
+)

@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dpst import ArrayDPST, LinkedDPST, NodeKind
+
+
+@pytest.fixture(params=["array", "linked"])
+def dpst_layout(request):
+    """Parametrize a test over both DPST layouts (Figure 14's two variants)."""
+    return request.param
+
+
+@pytest.fixture
+def tree(dpst_layout):
+    """An empty DPST of the parametrized layout."""
+    return ArrayDPST() if dpst_layout == "array" else LinkedDPST()
+
+
+def build_figure2(tree):
+    """Build the paper's Figure 2 DPST by hand.
+
+    Returns the node ids ``(s11, f12, a2, s2, s12, a3, s3)`` under root 0::
+
+        F0
+         |- S11
+         |- F12
+             |- A2 -- S2
+             |- S12
+             |- A3 -- S3
+    """
+    s11 = tree.add_node(0, NodeKind.STEP)
+    f12 = tree.add_node(0, NodeKind.FINISH)
+    a2 = tree.add_node(f12, NodeKind.ASYNC)
+    s2 = tree.add_node(a2, NodeKind.STEP)
+    s12 = tree.add_node(f12, NodeKind.STEP)
+    a3 = tree.add_node(f12, NodeKind.ASYNC)
+    s3 = tree.add_node(a3, NodeKind.STEP)
+    return s11, f12, a2, s2, s12, a3, s3

@@ -1,0 +1,238 @@
+"""TBB-style algorithm templates: results, structure, checker visibility."""
+
+import pytest
+
+from repro.checker import OptAtomicityChecker
+from repro.errors import RuntimeUsageError
+from repro.runtime import TaskProgram, WorkStealingExecutor, run_program
+from repro.runtime.algorithms import (
+    parallel_for,
+    parallel_invoke,
+    parallel_pipeline,
+    parallel_reduce,
+)
+
+
+class TestParallelFor:
+    def test_covers_range(self):
+        def main(ctx):
+            parallel_for(ctx, 0, 10, lambda c, i: c.write(("out", i), i * 2))
+            return sum(ctx.read(("out", i)) for i in range(10))
+
+        assert run_program(TaskProgram(main)).value == 90
+
+    def test_empty_range(self):
+        def main(ctx):
+            parallel_for(ctx, 5, 5, lambda c, i: c.write("X", 1))
+            return ctx.read("X")
+
+        assert run_program(TaskProgram(main)).value == 0
+
+    def test_grain_bounds_leaf_size(self):
+        sizes = []
+
+        def body(c, i):
+            c.write(("touched", i), 1)
+
+        def main(ctx):
+            parallel_for(ctx, 0, 17, body, grain=4)
+
+        result = run_program(TaskProgram(main), record_trace=True)
+        per_task = {}
+        for event in result.recorder.memory_events():
+            per_task.setdefault(event.task, 0)
+            per_task[event.task] += 1
+        # every leaf task touched at most `grain` locations
+        assert max(per_task.values()) <= 4
+
+    def test_leaves_are_parallel(self):
+        """Two iterations in different leaves can race; the checker sees it."""
+
+        def body(c, i):
+            value = c.read("shared")
+            c.write("shared", value + 1)
+
+        def main(ctx):
+            parallel_for(ctx, 0, 4, body, grain=1)
+
+        checker = OptAtomicityChecker()
+        run_program(TaskProgram(main), observers=[checker])
+        assert checker.report.locations() == ["shared"]
+
+    def test_same_leaf_iterations_are_one_step(self):
+        """With grain >= range size, the whole loop is one atomic region."""
+
+        def body(c, i):
+            value = c.read("shared")
+            c.write("shared", value + 1)
+
+        def main(ctx):
+            parallel_for(ctx, 0, 4, body, grain=4)
+
+        checker = OptAtomicityChecker()
+        run_program(TaskProgram(main), observers=[checker])
+        assert not checker.report
+
+    def test_invalid_grain(self):
+        def main(ctx):
+            parallel_for(ctx, 0, 4, lambda c, i: None, grain=0)
+
+        with pytest.raises(RuntimeUsageError):
+            run_program(TaskProgram(main))
+
+    def test_under_work_stealing(self):
+        def main(ctx):
+            parallel_for(ctx, 0, 20, lambda c, i: c.write(("out", i), i))
+            return sum(ctx.read(("out", i)) for i in range(20))
+
+        result = run_program(
+            TaskProgram(main), executor=WorkStealingExecutor(workers=3)
+        )
+        assert result.value == sum(range(20))
+
+
+class TestParallelReduce:
+    def test_sum(self):
+        def main(ctx):
+            return parallel_reduce(
+                ctx, 0, 100, lambda c, i: i, lambda a, b: a + b, 0, grain=8
+            )
+
+        assert run_program(TaskProgram(main)).value == sum(range(100))
+
+    def test_max(self):
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+
+        def main(ctx):
+            return parallel_reduce(
+                ctx,
+                0,
+                len(values),
+                lambda c, i: c.read(("v", i)),
+                max,
+                float("-inf"),
+                grain=2,
+            )
+
+        program = TaskProgram(
+            main, initial_memory={("v", i): v for i, v in enumerate(values)}
+        )
+        assert run_program(program).value == 9
+
+    def test_empty_range_returns_identity(self):
+        def main(ctx):
+            return parallel_reduce(ctx, 3, 3, lambda c, i: i, max, -1)
+
+        assert run_program(TaskProgram(main)).value == -1
+
+    def test_reduction_is_race_free(self):
+        """The template's partial-result tree must not itself violate."""
+
+        def main(ctx):
+            return parallel_reduce(
+                ctx, 0, 16, lambda c, i: i * i, lambda a, b: a + b, 0, grain=2
+            )
+
+        checker = OptAtomicityChecker()
+        result = run_program(TaskProgram(main), observers=[checker])
+        assert result.value == sum(i * i for i in range(16))
+        assert not checker.report
+
+    def test_nested_reductions(self):
+        def main(ctx):
+            def row_sum(c, row):
+                return parallel_reduce(
+                    c, 0, 4, lambda cc, col: row * 10 + col, lambda a, b: a + b, 0
+                )
+
+            return parallel_reduce(ctx, 0, 3, row_sum, lambda a, b: a + b, 0)
+
+        expected = sum(row * 10 + col for row in range(3) for col in range(4))
+        assert run_program(TaskProgram(main)).value == expected
+
+
+class TestParallelInvoke:
+    def test_all_bodies_run(self):
+        def main(ctx):
+            parallel_invoke(
+                ctx,
+                lambda c: c.write("a", 1),
+                lambda c: c.write("b", 2),
+                lambda c: c.write("c", 3),
+            )
+            return ctx.read("a") + ctx.read("b") + ctx.read("c")
+
+        assert run_program(TaskProgram(main)).value == 6
+
+    def test_bodies_are_parallel(self):
+        def rmw(c):
+            value = c.read("X")
+            c.write("X", value + 1)
+
+        def main(ctx):
+            parallel_invoke(ctx, rmw, rmw)
+
+        checker = OptAtomicityChecker()
+        run_program(TaskProgram(main), observers=[checker])
+        assert checker.report.locations() == ["X"]
+
+    def test_no_bodies(self):
+        def main(ctx):
+            parallel_invoke(ctx)
+            return 1
+
+        assert run_program(TaskProgram(main)).value == 1
+
+
+class TestParallelPipeline:
+    def test_values_flow_through_stages(self):
+        def main(ctx):
+            return parallel_pipeline(
+                ctx,
+                [1, 2, 3, 4],
+                [
+                    lambda c, x: x * 10,
+                    lambda c, x: x + 1,
+                ],
+            )
+
+        assert run_program(TaskProgram(main)).value == [11, 21, 31, 41]
+
+    def test_no_stages_is_identity(self):
+        def main(ctx):
+            return parallel_pipeline(ctx, [1, 2], [])
+
+        assert run_program(TaskProgram(main)).value == [1, 2]
+
+    def test_window_bounds_concurrency(self):
+        def main(ctx):
+            return parallel_pipeline(
+                ctx,
+                list(range(6)),
+                [lambda c, x: x + 100],
+                max_in_flight=2,
+            )
+
+        assert run_program(TaskProgram(main)).value == [100 + i for i in range(6)]
+
+    def test_shared_stage_state_is_checked(self):
+        """A stage that read-modify-writes a shared counter violates."""
+
+        def count_stage(c, x):
+            seen = c.read("count")
+            c.write("count", seen + 1)
+            return x
+
+        def main(ctx):
+            parallel_pipeline(ctx, [1, 2, 3], [count_stage])
+
+        checker = OptAtomicityChecker()
+        run_program(TaskProgram(main), observers=[checker])
+        assert checker.report.locations() == ["count"]
+
+    def test_invalid_window(self):
+        def main(ctx):
+            parallel_pipeline(ctx, [1], [lambda c, x: x], max_in_flight=0)
+
+        with pytest.raises(RuntimeUsageError):
+            run_program(TaskProgram(main))

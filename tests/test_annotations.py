@@ -1,0 +1,94 @@
+"""Atomicity annotations: check-everything default, groups, prefixes."""
+
+import pytest
+
+from repro.checker.annotations import AtomicAnnotations
+
+
+class TestDefaults:
+    def test_empty_checks_everything(self):
+        annotations = AtomicAnnotations()
+        assert annotations.check_all
+        assert annotations.trivial
+        assert annotations.is_checked("anything")
+        assert annotations.is_checked(("arr", 7))
+
+    def test_metadata_key_identity_by_default(self):
+        annotations = AtomicAnnotations()
+        assert annotations.metadata_key("X") == "X"
+        assert annotations.metadata_key(("arr", 3)) == ("arr", 3)
+
+
+class TestExplicit:
+    def test_explicit_annotation_disables_check_all(self):
+        annotations = AtomicAnnotations().annotate("X")
+        assert not annotations.check_all
+        assert annotations.is_checked("X")
+        assert not annotations.is_checked("Y")
+
+    def test_override_forces_check_all(self):
+        annotations = AtomicAnnotations(check_all=True).annotate("X")
+        assert annotations.check_all
+        assert annotations.is_checked("Y")
+
+    def test_override_forces_check_nothing_extra(self):
+        annotations = AtomicAnnotations(check_all=False)
+        assert not annotations.is_checked("X")
+        annotations.annotate("X")
+        assert annotations.is_checked("X")
+
+
+class TestGroups:
+    def test_group_shares_key(self):
+        annotations = AtomicAnnotations().annotate_group("acct", ["a", "b"])
+        assert annotations.metadata_key("a") == annotations.metadata_key("b")
+        assert annotations.metadata_key("a") == ("group", "acct")
+
+    def test_group_members_checked(self):
+        annotations = AtomicAnnotations().annotate_group("acct", ["a", "b"])
+        assert annotations.is_checked("a")
+        assert annotations.is_checked("b")
+        assert not annotations.is_checked("c")
+
+    def test_group_members_listed(self):
+        annotations = AtomicAnnotations().annotate_group("acct", ["a", "b"])
+        assert annotations.group_members("acct") == ["a", "b"]
+
+    def test_groups_iterable(self):
+        annotations = AtomicAnnotations()
+        annotations.annotate_group("g1", ["a"])
+        annotations.annotate_group("g2", ["b", "c"])
+        groups = dict(annotations.groups())
+        assert groups[("group", "g1")] == ["a"]
+        assert groups[("group", "g2")] == ["b", "c"]
+
+    def test_conflicting_group_membership_rejected(self):
+        annotations = AtomicAnnotations().annotate_group("g1", ["a"])
+        with pytest.raises(ValueError):
+            annotations.annotate_group("g2", ["a"])
+
+    def test_repeated_member_idempotent(self):
+        annotations = AtomicAnnotations()
+        annotations.annotate_group("g", ["a"])
+        annotations.annotate_group("g", ["a", "b"])
+        assert annotations.group_members("g") == ["a", "b"]
+
+    def test_grouping_breaks_triviality(self):
+        annotations = AtomicAnnotations(check_all=True).annotate_group("g", ["a"])
+        assert annotations.check_all
+        assert not annotations.trivial
+
+
+class TestPrefix:
+    def test_prefix_matches_tuple_locations(self):
+        annotations = AtomicAnnotations().annotate_prefix("arr")
+        assert annotations.is_checked(("arr", 0))
+        assert annotations.is_checked(("arr", 99))
+        assert not annotations.is_checked(("other", 0))
+        assert not annotations.is_checked("arr")
+
+    def test_prefix_and_explicit_combine(self):
+        annotations = AtomicAnnotations().annotate_prefix("arr").annotate("X")
+        assert annotations.is_checked("X")
+        assert annotations.is_checked(("arr", 1))
+        assert not annotations.is_checked("Y")

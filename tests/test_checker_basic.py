@@ -1,0 +1,135 @@
+"""Basic checker: both triple roles, lock rule, metadata growth."""
+
+import pytest
+
+from repro.checker import BasicAtomicityChecker
+from repro.dpst import ArrayDPST
+from repro.errors import CheckerError
+from repro.report import READ, WRITE
+from repro.runtime import TaskProgram, run_program
+from repro.runtime.events import MemoryEvent
+from repro.trace.replay import replay_memory_events
+
+from tests.conftest import build_figure2
+
+
+def mem(seq, task, step, loc, access, lockset=()):
+    return MemoryEvent(seq, task, step, loc, access, lockset)
+
+
+@pytest.fixture
+def fig2():
+    tree = ArrayDPST()
+    s11, f12, a2, s2, s12, a3, s3 = build_figure2(tree)
+    return tree, s11, s2, s12, s3
+
+
+class TestTripleRoles:
+    def test_current_as_pair_end(self, fig2):
+        tree, s11, s2, s12, s3 = fig2
+        events = [
+            mem(0, 2, s2, "X", READ),
+            mem(1, 3, s3, "X", WRITE),
+            mem(2, 2, s2, "X", WRITE),  # closes the pair; interleaver known
+        ]
+        checker = BasicAtomicityChecker()
+        replay_memory_events(events, checker, dpst=tree)
+        assert len(checker.report) == 1
+
+    def test_current_as_interleaver(self, fig2):
+        """The symmetric role the literal Figure 3 pseudocode misses."""
+        tree, s11, s2, s12, s3 = fig2
+        events = [
+            mem(0, 2, s2, "X", READ),
+            mem(1, 2, s2, "X", WRITE),
+            mem(2, 3, s3, "X", WRITE),  # pair already complete in the trace
+        ]
+        checker = BasicAtomicityChecker()
+        replay_memory_events(events, checker, dpst=tree)
+        assert len(checker.report) == 1
+
+    def test_serializable_triples_quiet(self, fig2):
+        tree, s11, s2, s12, s3 = fig2
+        events = [
+            mem(0, 2, s2, "X", READ),
+            mem(1, 3, s3, "X", READ),
+            mem(2, 2, s2, "X", READ),
+        ]
+        checker = BasicAtomicityChecker()
+        replay_memory_events(events, checker, dpst=tree)
+        assert not checker.report
+
+    def test_series_access_never_interleaves(self, fig2):
+        tree, s11, s2, s12, s3 = fig2
+        events = [
+            mem(0, 1, s11, "X", WRITE),  # precedes everything
+            mem(1, 2, s2, "X", READ),
+            mem(2, 2, s2, "X", WRITE),
+        ]
+        checker = BasicAtomicityChecker()
+        replay_memory_events(events, checker, dpst=tree)
+        assert not checker.report
+
+
+class TestLockRule:
+    def test_same_critical_section_pair_suppressed(self, fig2):
+        tree, s11, s2, s12, s3 = fig2
+        events = [
+            mem(0, 2, s2, "X", READ, ("L",)),
+            mem(1, 2, s2, "X", WRITE, ("L",)),
+            mem(2, 3, s3, "X", WRITE, ("L",)),
+        ]
+        checker = BasicAtomicityChecker()
+        replay_memory_events(events, checker, dpst=tree)
+        assert not checker.report
+
+    def test_versioned_sections_reported(self, fig2):
+        tree, s11, s2, s12, s3 = fig2
+        events = [
+            mem(0, 2, s2, "X", READ, ("L",)),
+            mem(1, 2, s2, "X", WRITE, ("L#1",)),
+            mem(2, 3, s3, "X", WRITE, ("L",)),
+        ]
+        checker = BasicAtomicityChecker()
+        replay_memory_events(events, checker, dpst=tree)
+        assert len(checker.report) == 1
+
+
+class TestMetadataGrowth:
+    def test_history_grows_with_accesses(self):
+        """The motivation for the optimized checker (ablation ABL-META)."""
+
+        def main(ctx):
+            for _ in range(10):
+                ctx.read("X")
+
+        checker = BasicAtomicityChecker()
+        run_program(TaskProgram(main), observers=[checker])
+        assert checker.history_size("X") == 10
+        assert checker.total_history_entries() == 10
+
+    def test_requires_dpst(self):
+        from repro.runtime.executor import RunContext
+        from repro.runtime.locks import LockTable
+        from repro.runtime.shadow import ShadowMemory
+
+        checker = BasicAtomicityChecker()
+        context = RunContext(None, None, ShadowMemory(), LockTable(), None)
+        with pytest.raises(CheckerError):
+            checker.on_run_begin(context)
+
+
+class TestDedup:
+    def test_repeated_triples_reported_once(self, fig2):
+        tree, s11, s2, s12, s3 = fig2
+        events = [
+            mem(0, 2, s2, "X", READ),
+            mem(1, 2, s2, "X", WRITE),
+            mem(2, 3, s3, "X", WRITE),
+            mem(3, 3, s3, "X", WRITE),
+        ]
+        checker = BasicAtomicityChecker()
+        replay_memory_events(events, checker, dpst=tree)
+        # distinct violations only; raw adds may exceed
+        patterns = {v.pattern for v in checker.report.violations}
+        assert "RWW" in patterns

@@ -1,0 +1,183 @@
+"""CLI: every subcommand exercised in-process.
+
+A small importable module of task bodies is materialized under ``tmp_path``
+and put on ``sys.path`` so the MODULE:FUNC commands have a target.
+"""
+
+import sys
+
+import pytest
+
+from repro.cli import main
+
+PROGRAMS_SOURCE = '''
+"""CLI test target programs."""
+
+def buggy(ctx):
+    def rmw(inner):
+        value = inner.read("X")
+        inner.write("X", value + 1)
+    ctx.spawn(rmw)
+    ctx.spawn(rmw)
+    ctx.sync()
+
+def clean(ctx):
+    def writer(inner, i):
+        inner.write(("out", i), i)
+    for i in range(3):
+        ctx.spawn(writer, i)
+    ctx.sync()
+'''
+
+
+@pytest.fixture
+def target_module(tmp_path, monkeypatch):
+    path = tmp_path / "cli_targets.py"
+    path.write_text(PROGRAMS_SOURCE)
+    monkeypatch.syspath_prepend(str(tmp_path))
+    sys.modules.pop("cli_targets", None)
+    yield "cli_targets"
+    sys.modules.pop("cli_targets", None)
+
+
+class TestCheck:
+    def test_buggy_program_exit_1(self, target_module, capsys):
+        code = main(["check", f"{target_module}:buggy"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "Atomicity violation" in out
+        assert "'X'" in out
+
+    def test_clean_program_exit_0(self, target_module, capsys):
+        code = main(["check", f"{target_module}:clean"])
+        assert code == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_stats_flag(self, target_module, capsys):
+        main(["check", f"{target_module}:buggy", "--stats"])
+        out = capsys.readouterr().out
+        assert "tasks=" in out and "lca_queries=" in out
+
+    def test_other_checkers(self, target_module, capsys):
+        assert main(["check", f"{target_module}:buggy", "--checker", "velodrome"]) == 0
+        assert main(["check", f"{target_module}:buggy", "--checker", "basic"]) == 1
+
+    def test_executor_options(self, target_module):
+        for executor in ("serial", "help-first", "random", "worksteal"):
+            assert (
+                main(
+                    ["check", f"{target_module}:buggy", "--executor", executor]
+                )
+                == 1
+            )
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["check", "no_colon_here"])
+
+    def test_missing_function_rejected(self, target_module):
+        with pytest.raises(SystemExit):
+            main(["check", f"{target_module}:nope"])
+
+
+class TestSuite:
+    def test_full_suite_passes(self, capsys):
+        code = main(["suite"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "36 case(s), 0 mismatch(es)" in out
+
+    def test_category_filter(self, capsys):
+        code = main(["suite", "--category", "locks"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "6 case(s)" in out
+
+
+class TestWorkload:
+    def test_run_sort(self, capsys):
+        code = main(["workload", "sort", "--scale", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "workload sort" in out
+        assert "no violations" in out
+
+    def test_unknown_workload(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            main(["workload", "quake"])
+
+
+class TestDpst:
+    def test_prints_tree(self, target_module, capsys):
+        code = main(["dpst", f"{target_module}:buggy"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("F0")
+        assert "A" in out and "S" in out
+
+
+class TestRecordReplay:
+    def test_roundtrip(self, target_module, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.json")
+        assert main(["record", f"{target_module}:buggy", "-o", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out
+        code = main(["replay", trace_file])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "Atomicity violation" in out
+
+    def test_replay_with_velodrome(self, target_module, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.json")
+        main(["record", f"{target_module}:buggy", "-o", trace_file])
+        capsys.readouterr()
+        code = main(["replay", trace_file, "--checker", "velodrome"])
+        assert code == 0  # serial trace: no cycle
+
+
+class TestCoverage:
+    def test_clean_coverage_exit_0(self, target_module, capsys):
+        code = main(["coverage", f"{target_module}:buggy"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "STANDS" in out
+
+    def test_output_lists_patterns(self, target_module, capsys):
+        main(["coverage", f"{target_module}:clean"])
+        out = capsys.readouterr().out
+        assert "static access pattern" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_help_lists_commands(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        for command in ("check", "suite", "workload", "table1", "fig13"):
+            assert command in out
+
+
+class TestCompare:
+    def test_matrix_covers_all_analyses(self, target_module, capsys):
+        code = main(["compare", f"{target_module}:buggy"])
+        out = capsys.readouterr().out
+        assert code == 1
+        for label in (
+            "optimized (paper)",
+            "basic (reference)",
+            "velodrome (this trace)",
+            "velodrome + explorer",
+            "race detector",
+        ):
+            assert label in out
+        assert "schedules" in out  # explorer note column
+
+    def test_clean_program_exit_0(self, target_module, capsys):
+        code = main(["compare", f"{target_module}:clean"])
+        assert code == 0

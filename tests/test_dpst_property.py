@@ -1,0 +1,135 @@
+"""Property-based tests on the DPST (hypothesis).
+
+Random trees are generated as insertion scripts: a sequence of (parent
+choice, kind) decisions replayed against both layouts.  Invariants:
+
+* ``validate()`` holds after any legal insertion sequence;
+* both layouts agree on every accessor and every relation query;
+* the LCA walk agrees with a naive path-intersection implementation;
+* ``parallel`` is symmetric and irreflexive; ``precedes`` is a strict
+  partial order; distinct steps are exactly one of {parallel, <, >};
+* the engine's cached verdicts equal the uncached ones.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dpst import ArrayDPST, LCAEngine, LinkedDPST, NodeKind, ROOT_ID, relation
+
+
+@st.composite
+def insertion_scripts(draw):
+    """A list of (parent_index_choice, kind) insertion decisions."""
+    length = draw(st.integers(min_value=1, max_value=24))
+    script = []
+    for _ in range(length):
+        parent_choice = draw(st.integers(min_value=0, max_value=10_000))
+        kind = draw(st.sampled_from([NodeKind.STEP, NodeKind.ASYNC, NodeKind.FINISH]))
+        script.append((parent_choice, kind))
+    return script
+
+
+def replay(script, tree):
+    """Replay a script, mapping each parent choice onto a legal inner node."""
+    inner = [ROOT_ID]
+    for parent_choice, kind in script:
+        parent = inner[parent_choice % len(inner)]
+        node = tree.add_node(parent, kind)
+        if kind is not NodeKind.STEP:
+            inner.append(node)
+    return tree
+
+
+def naive_lca(tree, a, b):
+    path_a = set(tree.path_to_root(a))
+    node = b
+    while node not in path_a:
+        node = tree.parent(node)
+    return node
+
+
+@given(insertion_scripts())
+@settings(max_examples=60, deadline=None)
+def test_validate_after_any_script(script):
+    tree = replay(script, ArrayDPST())
+    tree.validate()
+
+
+@given(insertion_scripts())
+@settings(max_examples=60, deadline=None)
+def test_layouts_agree(script):
+    array = replay(script, ArrayDPST())
+    linked = replay(script, LinkedDPST())
+    assert len(array) == len(linked)
+    for node in array.nodes():
+        assert array.kind(node) == linked.kind(node)
+        assert array.parent(node) == linked.parent(node)
+        assert array.depth(node) == linked.depth(node)
+        assert array.sibling_rank(node) == linked.sibling_rank(node)
+    for a in array.nodes():
+        for b in array.nodes():
+            assert relation.parallel(array, a, b) == relation.parallel(linked, a, b)
+            assert relation.precedes(array, a, b) == relation.precedes(linked, a, b)
+
+
+@given(insertion_scripts())
+@settings(max_examples=60, deadline=None)
+def test_lca_matches_naive(script):
+    tree = replay(script, ArrayDPST())
+    nodes = list(tree.nodes())
+    for a in nodes:
+        for b in nodes:
+            assert relation.lca(tree, a, b) == naive_lca(tree, a, b)
+
+
+@given(insertion_scripts())
+@settings(max_examples=60, deadline=None)
+def test_parallel_symmetric_irreflexive(script):
+    tree = replay(script, ArrayDPST())
+    for a in tree.nodes():
+        assert not relation.parallel(tree, a, a)
+        for b in tree.nodes():
+            assert relation.parallel(tree, a, b) == relation.parallel(tree, b, a)
+
+
+@given(insertion_scripts())
+@settings(max_examples=40, deadline=None)
+def test_steps_trichotomy(script):
+    tree = replay(script, ArrayDPST())
+    steps = tree.step_nodes()
+    for a in steps:
+        for b in steps:
+            if a == b:
+                continue
+            verdicts = (
+                relation.parallel(tree, a, b),
+                relation.precedes(tree, a, b),
+                relation.precedes(tree, b, a),
+            )
+            assert sum(verdicts) == 1
+
+
+@given(insertion_scripts())
+@settings(max_examples=40, deadline=None)
+def test_precedes_transitive_on_steps(script):
+    tree = replay(script, ArrayDPST())
+    steps = tree.step_nodes()[:8]  # bound the cubic loop
+    for a in steps:
+        for b in steps:
+            if not relation.precedes(tree, a, b):
+                continue
+            for c in steps:
+                if relation.precedes(tree, b, c):
+                    assert relation.precedes(tree, a, c)
+
+
+@given(insertion_scripts())
+@settings(max_examples=40, deadline=None)
+def test_engine_cache_transparent(script):
+    tree = replay(script, ArrayDPST())
+    cached = LCAEngine(tree, cache=True)
+    uncached = LCAEngine(tree, cache=False)
+    for a in tree.nodes():
+        for b in tree.nodes():
+            assert cached.parallel(a, b) == uncached.parallel(a, b)
+            # Ask twice: the memoized answer must be stable.
+            assert cached.parallel(a, b) == cached.parallel(b, a)

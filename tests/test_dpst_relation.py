@@ -1,0 +1,153 @@
+"""Series-parallel relation tests (the SPD3 rule) on hand-built trees."""
+
+import pytest
+
+from repro.dpst import NodeKind, ROOT_ID, relation
+
+from tests.conftest import build_figure2
+
+
+class TestFigure2Relations:
+    """The exact claims the paper makes about Figure 2."""
+
+    def test_s2_parallel_s12(self, tree):
+        s11, f12, a2, s2, s12, a3, s3 = build_figure2(tree)
+        assert relation.parallel(tree, s2, s12)
+        assert relation.parallel(tree, s12, s2)
+
+    def test_s2_parallel_s3(self, tree):
+        s11, f12, a2, s2, s12, a3, s3 = build_figure2(tree)
+        assert relation.parallel(tree, s2, s3)
+
+    def test_s11_not_parallel_s2(self, tree):
+        s11, f12, a2, s2, s12, a3, s3 = build_figure2(tree)
+        assert not relation.parallel(tree, s11, s2)
+        assert relation.precedes(tree, s11, s2)
+
+    def test_s12_not_parallel_s3(self, tree):
+        s11, f12, a2, s2, s12, a3, s3 = build_figure2(tree)
+        assert not relation.parallel(tree, s12, s3)
+        assert relation.precedes(tree, s12, s3)
+
+    def test_s11_precedes_everything(self, tree):
+        s11, f12, a2, s2, s12, a3, s3 = build_figure2(tree)
+        for later in (s2, s12, s3):
+            assert relation.precedes(tree, s11, later)
+            assert not relation.precedes(tree, later, s11)
+
+
+class TestLCA:
+    def test_lca_of_figure2_pairs(self, tree):
+        s11, f12, a2, s2, s12, a3, s3 = build_figure2(tree)
+        assert relation.lca(tree, s2, s3) == f12
+        assert relation.lca(tree, s2, s12) == f12
+        assert relation.lca(tree, s11, s2) == ROOT_ID
+        assert relation.lca(tree, s11, s12) == ROOT_ID
+
+    def test_lca_with_self(self, tree):
+        s11, *_ = build_figure2(tree)
+        assert relation.lca(tree, s11, s11) == s11
+
+    def test_lca_with_ancestor(self, tree):
+        s11, f12, a2, s2, *_ = build_figure2(tree)
+        assert relation.lca(tree, a2, s2) == a2
+        assert relation.lca(tree, s2, a2) == a2
+
+    def test_lca_children_toward(self, tree):
+        s11, f12, a2, s2, s12, a3, s3 = build_figure2(tree)
+        lca, toward_a, toward_b = relation.lca_with_children(tree, s2, s3)
+        assert (lca, toward_a, toward_b) == (f12, a2, a3)
+
+
+class TestRelationProperties:
+    def test_parallel_irreflexive(self, tree):
+        nodes = build_figure2(tree)
+        for node in nodes:
+            assert not relation.parallel(tree, node, node)
+
+    def test_parallel_symmetric(self, tree):
+        nodes = build_figure2(tree)
+        for a in nodes:
+            for b in nodes:
+                assert relation.parallel(tree, a, b) == relation.parallel(tree, b, a)
+
+    def test_precedes_antisymmetric(self, tree):
+        nodes = build_figure2(tree)
+        for a in nodes:
+            for b in nodes:
+                if a != b:
+                    assert not (
+                        relation.precedes(tree, a, b) and relation.precedes(tree, b, a)
+                    )
+
+    def test_steps_partition_into_parallel_or_ordered(self, tree):
+        """Any two distinct steps are exactly one of: parallel, a<b, b<a."""
+        build_figure2(tree)
+        steps = tree.step_nodes()
+        for a in steps:
+            for b in steps:
+                if a == b:
+                    continue
+                relations = [
+                    relation.parallel(tree, a, b),
+                    relation.precedes(tree, a, b),
+                    relation.precedes(tree, b, a),
+                ]
+                assert sum(relations) == 1
+
+    def test_series_is_negation_of_parallel(self, tree):
+        nodes = build_figure2(tree)
+        for a in nodes:
+            for b in nodes:
+                if a != b:
+                    assert relation.series(tree, a, b) != relation.parallel(tree, a, b)
+
+
+class TestLeftOf:
+    def test_left_of_siblings(self, tree):
+        s11, f12, a2, s2, s12, a3, s3 = build_figure2(tree)
+        assert relation.left_of(tree, s11, f12)
+        assert not relation.left_of(tree, f12, s11)
+
+    def test_left_of_across_subtrees(self, tree):
+        s11, f12, a2, s2, s12, a3, s3 = build_figure2(tree)
+        assert relation.left_of(tree, s2, s3)
+        assert relation.left_of(tree, s2, s12)
+        assert not relation.left_of(tree, s3, s2)
+
+    def test_ancestor_is_left_of_descendant(self, tree):
+        s11, f12, a2, s2, *_ = build_figure2(tree)
+        assert relation.left_of(tree, a2, s2)
+        assert not relation.left_of(tree, s2, a2)
+
+    def test_left_of_self_is_false(self, tree):
+        s11, *_ = build_figure2(tree)
+        assert not relation.left_of(tree, s11, s11)
+
+
+class TestNestedStructure:
+    def test_nested_async_parallel_with_outer_continuation(self, tree):
+        # F0 -> A1 -> F2 -> A3 -> S4 (deep step); F0 -> S5 (continuation)
+        a1 = tree.add_node(ROOT_ID, NodeKind.ASYNC)
+        f2 = tree.add_node(a1, NodeKind.FINISH)
+        a3 = tree.add_node(f2, NodeKind.ASYNC)
+        s4 = tree.add_node(a3, NodeKind.STEP)
+        s5 = tree.add_node(ROOT_ID, NodeKind.STEP)
+        assert relation.parallel(tree, s4, s5)
+
+    def test_finish_forces_series(self, tree):
+        # F0 -> F1 -> A2 -> S3; F0 -> S4: the finish scope closed first.
+        f1 = tree.add_node(ROOT_ID, NodeKind.FINISH)
+        a2 = tree.add_node(f1, NodeKind.ASYNC)
+        s3 = tree.add_node(a2, NodeKind.STEP)
+        s4 = tree.add_node(ROOT_ID, NodeKind.STEP)
+        assert not relation.parallel(tree, s3, s4)
+        assert relation.precedes(tree, s3, s4)
+
+    def test_two_asyncs_same_finish_parallel(self, tree):
+        f1 = tree.add_node(ROOT_ID, NodeKind.FINISH)
+        a2 = tree.add_node(f1, NodeKind.ASYNC)
+        s3 = tree.add_node(a2, NodeKind.STEP)
+        a4 = tree.add_node(f1, NodeKind.ASYNC)
+        s5 = tree.add_node(a4, NodeKind.STEP)
+        assert relation.parallel(tree, s3, s5)

@@ -1,0 +1,154 @@
+"""Structural unit tests for both DPST layouts."""
+
+import pytest
+
+from repro.dpst import ArrayDPST, LinkedDPST, NodeKind, ROOT_ID, NULL_ID
+from repro.errors import DPSTError
+
+from tests.conftest import build_figure2
+
+
+class TestEmptyTree:
+    def test_has_root_finish(self, tree):
+        assert len(tree) == 1
+        assert tree.kind(ROOT_ID) is NodeKind.FINISH
+
+    def test_root_parent_is_null(self, tree):
+        assert tree.parent(ROOT_ID) == NULL_ID
+
+    def test_root_depth_and_rank(self, tree):
+        assert tree.depth(ROOT_ID) == 0
+        assert tree.sibling_rank(ROOT_ID) == 0
+
+    def test_validates(self, tree):
+        tree.validate()
+
+
+class TestInsertion:
+    def test_ids_are_dense(self, tree):
+        first = tree.add_node(ROOT_ID, NodeKind.STEP)
+        second = tree.add_node(ROOT_ID, NodeKind.ASYNC)
+        assert (first, second) == (1, 2)
+
+    def test_child_depth(self, tree):
+        async_node = tree.add_node(ROOT_ID, NodeKind.ASYNC)
+        step = tree.add_node(async_node, NodeKind.STEP)
+        assert tree.depth(async_node) == 1
+        assert tree.depth(step) == 2
+
+    def test_sibling_ranks_count_left_to_right(self, tree):
+        nodes = [tree.add_node(ROOT_ID, NodeKind.ASYNC) for _ in range(4)]
+        assert [tree.sibling_rank(n) for n in nodes] == [0, 1, 2, 3]
+
+    def test_children_ordered(self, tree):
+        a = tree.add_node(ROOT_ID, NodeKind.STEP)
+        b = tree.add_node(ROOT_ID, NodeKind.FINISH)
+        c = tree.add_node(ROOT_ID, NodeKind.ASYNC)
+        assert tree.children(ROOT_ID) == [a, b, c]
+
+    def test_nested_ranks_independent(self, tree):
+        f = tree.add_node(ROOT_ID, NodeKind.FINISH)
+        tree.add_node(ROOT_ID, NodeKind.STEP)
+        inner = tree.add_node(f, NodeKind.STEP)
+        assert tree.sibling_rank(inner) == 0
+
+    def test_insert_under_step_rejected(self, tree):
+        step = tree.add_node(ROOT_ID, NodeKind.STEP)
+        with pytest.raises(DPSTError):
+            tree.add_node(step, NodeKind.STEP)
+
+    def test_insert_under_unknown_parent_rejected(self, tree):
+        with pytest.raises(DPSTError):
+            tree.add_node(99, NodeKind.STEP)
+        with pytest.raises(DPSTError):
+            tree.add_node(-2, NodeKind.STEP)
+
+
+class TestAccessors:
+    def test_is_step(self, tree):
+        step = tree.add_node(ROOT_ID, NodeKind.STEP)
+        async_node = tree.add_node(ROOT_ID, NodeKind.ASYNC)
+        assert tree.is_step(step)
+        assert not tree.is_step(async_node)
+
+    def test_ancestors(self, tree):
+        a = tree.add_node(ROOT_ID, NodeKind.ASYNC)
+        f = tree.add_node(a, NodeKind.FINISH)
+        s = tree.add_node(f, NodeKind.STEP)
+        assert list(tree.ancestors(s)) == [f, a, ROOT_ID]
+
+    def test_path_to_root(self, tree):
+        a = tree.add_node(ROOT_ID, NodeKind.ASYNC)
+        s = tree.add_node(a, NodeKind.STEP)
+        assert tree.path_to_root(s) == [s, a, ROOT_ID]
+
+    def test_is_ancestor(self, tree):
+        a = tree.add_node(ROOT_ID, NodeKind.ASYNC)
+        s = tree.add_node(a, NodeKind.STEP)
+        assert tree.is_ancestor(ROOT_ID, s)
+        assert tree.is_ancestor(a, s)
+        assert tree.is_ancestor(s, s)
+        assert not tree.is_ancestor(s, a)
+
+    def test_step_nodes(self, tree):
+        s1 = tree.add_node(ROOT_ID, NodeKind.STEP)
+        tree.add_node(ROOT_ID, NodeKind.ASYNC)
+        s2 = tree.add_node(ROOT_ID, NodeKind.STEP)
+        assert tree.step_nodes() == [s1, s2]
+
+    def test_nodes_iteration(self, tree):
+        tree.add_node(ROOT_ID, NodeKind.STEP)
+        tree.add_node(ROOT_ID, NodeKind.ASYNC)
+        assert list(tree.nodes()) == [0, 1, 2]
+
+
+class TestFigure2:
+    def test_shape(self, tree):
+        s11, f12, a2, s2, s12, a3, s3 = build_figure2(tree)
+        assert tree.children(ROOT_ID) == [s11, f12]
+        assert tree.children(f12) == [a2, s12, a3]
+        assert tree.children(a2) == [s2]
+        assert tree.children(a3) == [s3]
+        tree.validate()
+
+    def test_dump_renders_every_node(self, tree):
+        build_figure2(tree)
+        dump = tree.dump()
+        for node in tree.nodes():
+            assert tree.kind(node).short() + str(node) in dump
+
+
+class TestLayoutSpecific:
+    def test_layout_names(self):
+        assert ArrayDPST().layout_name == "array"
+        assert LinkedDPST().layout_name == "linked"
+
+    def test_layouts_agree_on_figure2(self):
+        array, linked = ArrayDPST(), LinkedDPST()
+        build_figure2(array)
+        build_figure2(linked)
+        for node in array.nodes():
+            assert array.kind(node) == linked.kind(node)
+            assert array.parent(node) == linked.parent(node)
+            assert array.depth(node) == linked.depth(node)
+            assert array.sibling_rank(node) == linked.sibling_rank(node)
+
+    def test_lca_with_children_same_result(self):
+        array, linked = ArrayDPST(), LinkedDPST()
+        build_figure2(array)
+        build_figure2(linked)
+        for a in array.nodes():
+            for b in array.nodes():
+                assert array.lca_with_children(a, b) == linked.lca_with_children(a, b)
+
+
+class TestNodeKind:
+    def test_short_codes(self):
+        assert NodeKind.STEP.short() == "S"
+        assert NodeKind.ASYNC.short() == "A"
+        assert NodeKind.FINISH.short() == "F"
+
+    def test_internal_flags(self):
+        assert not NodeKind.STEP.is_internal
+        assert NodeKind.ASYNC.is_internal
+        assert NodeKind.FINISH.is_internal

@@ -1,0 +1,253 @@
+"""Executors: all schedules compute the same results and verdicts.
+
+The paper's point is schedule insensitivity of the *analysis*; these tests
+additionally pin schedule insensitivity of deterministic *programs* (those
+whose shared accesses commute or are ordered) and basic liveness of the
+work-stealing pool.
+"""
+
+import pytest
+
+from repro.checker import OptAtomicityChecker
+from repro.runtime import (
+    RandomOrderExecutor,
+    SerialExecutor,
+    TaskProgram,
+    WorkStealingExecutor,
+    run_program,
+)
+
+ALL_EXECUTORS = [
+    lambda: SerialExecutor(),
+    lambda: SerialExecutor(policy="help_first", order="fifo"),
+    lambda: SerialExecutor(policy="help_first", order="lifo"),
+    lambda: RandomOrderExecutor(seed=1),
+    lambda: RandomOrderExecutor(seed=2),
+    lambda: WorkStealingExecutor(workers=2),
+    lambda: WorkStealingExecutor(workers=4),
+]
+
+
+def fanout_program():
+    def child(ctx, i):
+        ctx.write(("out", i), i * i)
+
+    def main(ctx):
+        for i in range(8):
+            ctx.spawn(child, i)
+        ctx.sync()
+        return sum(ctx.read(("out", i)) for i in range(8))
+
+    return TaskProgram(main)
+
+
+def tree_program():
+    def node(ctx, depth, index):
+        if depth == 0:
+            ctx.write(("leaf", index), index)
+            return
+        ctx.spawn(node, depth - 1, index * 2)
+        ctx.spawn(node, depth - 1, index * 2 + 1)
+        ctx.sync()
+
+    def main(ctx):
+        ctx.spawn(node, 3, 0)
+        ctx.sync()
+        return sum(ctx.read(("leaf", i)) for i in range(8))
+
+    return TaskProgram(main)
+
+
+@pytest.mark.parametrize("make_executor", ALL_EXECUTORS)
+def test_fanout_result_identical(make_executor):
+    result = run_program(fanout_program(), executor=make_executor())
+    assert result.value == sum(i * i for i in range(8))
+
+
+@pytest.mark.parametrize("make_executor", ALL_EXECUTORS)
+def test_tree_result_identical(make_executor):
+    result = run_program(tree_program(), executor=make_executor())
+    assert result.value == sum(range(8))
+
+
+@pytest.mark.parametrize("make_executor", ALL_EXECUTORS)
+def test_checker_verdict_schedule_insensitive(make_executor):
+    def rmw(ctx):
+        value = ctx.read("X")
+        ctx.write("X", value + 1)
+
+    def main(ctx):
+        for _ in range(3):
+            ctx.spawn(rmw)
+        ctx.sync()
+
+    result = run_program(
+        TaskProgram(main), executor=make_executor(), observers=[OptAtomicityChecker()]
+    )
+    assert set(result.report().locations()) == {"X"}
+
+
+@pytest.mark.parametrize("make_executor", ALL_EXECUTORS)
+def test_locked_program_clean_everywhere(make_executor):
+    def rmw(ctx):
+        with ctx.lock("L"):
+            value = ctx.read("X")
+            ctx.write("X", value + 1)
+
+    def main(ctx):
+        for _ in range(4):
+            ctx.spawn(rmw)
+        ctx.sync()
+        return ctx.read("X")
+
+    result = run_program(
+        TaskProgram(main), executor=make_executor(), observers=[OptAtomicityChecker()]
+    )
+    assert not result.report()
+    assert result.value == 4  # the lock makes the count exact
+
+
+class TestSerialPolicies:
+    def test_child_first_runs_child_at_spawn(self):
+        order = []
+
+        def child(ctx):
+            order.append("child")
+
+        def main(ctx):
+            ctx.spawn(child)
+            order.append("parent")
+            ctx.sync()
+
+        run_program(TaskProgram(main), executor=SerialExecutor())
+        assert order == ["child", "parent"]
+
+    def test_help_first_defers_children(self):
+        order = []
+
+        def child(ctx, i):
+            order.append(f"child{i}")
+
+        def main(ctx):
+            ctx.spawn(child, 0)
+            ctx.spawn(child, 1)
+            order.append("parent")
+            ctx.sync()
+
+        run_program(
+            TaskProgram(main), executor=SerialExecutor(policy="help_first")
+        )
+        assert order == ["parent", "child0", "child1"]
+
+    def test_help_first_lifo_reverses(self):
+        order = []
+
+        def child(ctx, i):
+            order.append(i)
+
+        def main(ctx):
+            for i in range(3):
+                ctx.spawn(child, i)
+            ctx.sync()
+
+        run_program(
+            TaskProgram(main),
+            executor=SerialExecutor(policy="help_first", order="lifo"),
+        )
+        assert order == [2, 1, 0]
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            SerialExecutor(policy="nope")
+        with pytest.raises(ValueError):
+            SerialExecutor(order="sideways")
+
+
+class TestRandomExecutor:
+    def test_seed_determinism(self):
+        def child(ctx, i):
+            ctx.write(("order", ctx.task_id), i)
+
+        def main(ctx):
+            for i in range(5):
+                ctx.spawn(child, i)
+            ctx.sync()
+
+        snaps = []
+        for _ in range(2):
+            result = run_program(
+                TaskProgram(main), executor=RandomOrderExecutor(seed=9),
+                record_trace=True,
+            )
+            snaps.append([e.task for e in result.recorder.memory_events()])
+        assert snaps[0] == snaps[1]
+
+
+class TestWorkStealing:
+    def test_many_tasks_complete(self):
+        def child(ctx, i):
+            ctx.write(("out", i), 1)
+
+        def main(ctx):
+            for i in range(40):
+                ctx.spawn(child, i)
+            ctx.sync()
+            return sum(ctx.read(("out", i)) for i in range(40))
+
+        result = run_program(
+            TaskProgram(main), executor=WorkStealingExecutor(workers=4)
+        )
+        assert result.value == 40
+
+    def test_nested_sync_under_stealing(self):
+        def leaf(ctx, i):
+            ctx.write(("leaf", i), i)
+
+        def mid(ctx, base):
+            for i in range(3):
+                ctx.spawn(leaf, base * 3 + i)
+            ctx.sync()
+            ctx.write(("mid", base), 1)
+
+        def main(ctx):
+            for base in range(4):
+                ctx.spawn(mid, base)
+            ctx.sync()
+            return sum(ctx.read(("mid", b)) for b in range(4))
+
+        result = run_program(
+            TaskProgram(main), executor=WorkStealingExecutor(workers=3)
+        )
+        assert result.value == 4
+
+    def test_exception_propagates(self):
+        def bad(ctx):
+            raise RuntimeError("task exploded")
+
+        def main(ctx):
+            ctx.spawn(bad)
+            ctx.sync()
+
+        with pytest.raises(RuntimeError, match="task exploded"):
+            run_program(TaskProgram(main), executor=WorkStealingExecutor(workers=2))
+
+    def test_worker_count_validation(self):
+        with pytest.raises(ValueError):
+            WorkStealingExecutor(workers=0)
+
+    def test_locks_exclude_across_workers(self):
+        def bump(ctx):
+            with ctx.lock("L"):
+                value = ctx.read("X")
+                ctx.write("X", value + 1)
+
+        def main(ctx):
+            for _ in range(16):
+                ctx.spawn(bump)
+            ctx.sync()
+            return ctx.read("X")
+
+        result = run_program(
+            TaskProgram(main), executor=WorkStealingExecutor(workers=4)
+        )
+        assert result.value == 16

@@ -1,0 +1,227 @@
+"""Interleaving explorer: schedule enumeration and the two oracles."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.runtime import SerialExecutor, TaskProgram, run_program
+from repro.trace.explore import (
+    InterleavingExplorer,
+    analytic_violation_locations,
+    explore_violation_locations,
+    realized_violation_keys,
+)
+from repro.trace.trace import Trace
+
+
+def record(body, initial=None):
+    program = TaskProgram(body, initial_memory=initial or {})
+    return run_program(program, record_trace=True).trace
+
+
+class TestEnumeration:
+    def test_two_independent_singletons(self):
+        def a(ctx):
+            ctx.write("X", 1)
+
+        def b(ctx):
+            ctx.write("Y", 1)
+
+        def main(ctx):
+            ctx.spawn(a)
+            ctx.spawn(b)
+            ctx.sync()
+
+        explorer = InterleavingExplorer(record(main))
+        schedules = explorer.schedules()
+        assert len(schedules) == 2  # the two orders of two events
+        assert not explorer.truncated
+
+    def test_series_is_single_schedule(self):
+        def a(ctx):
+            ctx.write("X", 1)
+
+        def main(ctx):
+            ctx.spawn(a)
+            ctx.sync()
+            ctx.spawn(a)
+            ctx.sync()
+
+        schedules = InterleavingExplorer(record(main)).schedules()
+        assert len(schedules) == 1
+
+    def test_interleaving_counts(self):
+        """Two parallel steps of 2 ops each: C(4,2) = 6 interleavings."""
+
+        def two_ops(ctx, tag):
+            ctx.write((tag, 0), 1)
+            ctx.write((tag, 1), 1)
+
+        def main(ctx):
+            ctx.spawn(two_ops, "a")
+            ctx.spawn(two_ops, "b")
+            ctx.sync()
+
+        schedules = InterleavingExplorer(record(main)).schedules()
+        assert len(schedules) == 6
+
+    def test_schedule_respects_program_order(self):
+        def two_ops(ctx, tag):
+            ctx.write((tag, 0), 1)
+            ctx.write((tag, 1), 1)
+
+        def main(ctx):
+            ctx.spawn(two_ops, "a")
+            ctx.spawn(two_ops, "b")
+            ctx.sync()
+
+        for schedule in InterleavingExplorer(record(main)).schedules():
+            per_tag = {}
+            for event in schedule:
+                per_tag.setdefault(event.location[0], []).append(event.location[1])
+            assert per_tag["a"] == [0, 1]
+            assert per_tag["b"] == [0, 1]
+
+    def test_truncation_flag(self):
+        def many(ctx, i):
+            ctx.write(("X", i), 1)
+
+        def main(ctx):
+            for i in range(6):
+                ctx.spawn(many, i)
+            ctx.sync()
+
+        explorer = InterleavingExplorer(record(main), max_schedules=5)
+        schedules = explorer.schedules()
+        assert len(schedules) == 5
+        assert explorer.truncated
+
+    def test_requires_dpst(self):
+        with pytest.raises(TraceError):
+            InterleavingExplorer(Trace([], dpst=None))
+
+
+class TestLockExclusion:
+    def test_lock_blocks_interleaving(self):
+        """Both tasks' ops inside one CS of L: no mixed schedule exists."""
+
+        def locked_pair(ctx, tag):
+            with ctx.lock("L"):
+                ctx.write((tag, 0), 1)
+                ctx.write((tag, 1), 1)
+
+        def main(ctx):
+            ctx.spawn(locked_pair, "a")
+            ctx.spawn(locked_pair, "b")
+            ctx.sync()
+
+        schedules = InterleavingExplorer(record(main)).schedules()
+        # Only the two all-a-then-all-b orders survive mutual exclusion.
+        assert len(schedules) == 2
+
+    def test_different_locks_do_not_exclude(self):
+        def locked_pair(ctx, tag, lock):
+            with ctx.lock(lock):
+                ctx.write((tag, 0), 1)
+                ctx.write((tag, 1), 1)
+
+        def main(ctx):
+            ctx.spawn(locked_pair, "a", "L")
+            ctx.spawn(locked_pair, "b", "M")
+            ctx.sync()
+
+        schedules = InterleavingExplorer(record(main)).schedules()
+        assert len(schedules) == 6
+
+
+class TestRealizedKeys:
+    def test_detects_physical_interleaving(self):
+        def rmw(ctx):
+            value = ctx.read("X")
+            ctx.write("X", value + 1)
+
+        def writer(ctx):
+            ctx.write("X", 9)
+
+        def main(ctx):
+            ctx.spawn(rmw)
+            ctx.spawn(writer)
+            ctx.sync()
+
+        trace = record(main)
+        explorer = InterleavingExplorer(trace)
+        keys = set()
+        for schedule in explorer.schedules():
+            keys |= realized_violation_keys(schedule)
+        assert keys == {"X"}
+
+    def test_serial_schedule_realizes_nothing(self):
+        def rmw(ctx):
+            value = ctx.read("X")
+            ctx.write("X", value + 1)
+
+        def main(ctx):
+            ctx.spawn(rmw)
+            ctx.sync()
+            ctx.spawn(rmw)
+            ctx.sync()
+
+        trace = record(main)
+        assert explore_violation_locations(trace) == set()
+
+
+class TestAnalyticOracle:
+    def test_agrees_on_simple_violation(self):
+        def rmw(ctx):
+            value = ctx.read("X")
+            ctx.write("X", value + 1)
+
+        def main(ctx):
+            ctx.spawn(rmw)
+            ctx.spawn(rmw)
+            ctx.sync()
+
+        trace = record(main)
+        assert analytic_violation_locations(trace) == {"X"}
+        assert explore_violation_locations(trace) == {"X"}
+
+    def test_lock_window_blocks_interleaver(self):
+        """Pair inside one CS, interleaver takes the same lock: safe."""
+
+        def locked_rmw(ctx):
+            with ctx.lock("L"):
+                value = ctx.read("X")
+                ctx.write("X", value + 1)
+
+        def locked_writer(ctx):
+            with ctx.lock("L"):
+                ctx.write("X", 9)
+
+        def main(ctx):
+            ctx.spawn(locked_rmw)
+            ctx.spawn(locked_writer)
+            ctx.sync()
+
+        trace = record(main)
+        assert analytic_violation_locations(trace) == set()
+        assert explore_violation_locations(trace) == set()
+
+    def test_rogue_interleaver_found_by_both_oracles(self):
+        """Pair in one CS but the writer ignores the lock: the oracles see
+        the violation (the checkers intentionally do not -- Section 3.3)."""
+
+        def locked_rmw(ctx):
+            with ctx.lock("L"):
+                value = ctx.read("X")
+                ctx.write("X", value + 1)
+
+        def rogue(ctx):
+            ctx.write("X", 9)
+
+        def main(ctx):
+            ctx.spawn(locked_rmw)
+            ctx.spawn(rogue)
+            ctx.sync()
+
+        trace = record(main)
+        assert analytic_violation_locations(trace) == {"X"}
+        assert explore_violation_locations(trace) == {"X"}

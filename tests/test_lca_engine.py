@@ -1,0 +1,108 @@
+"""LCA engine: memoization behaviour and the Table 1 statistics."""
+
+from repro.dpst import ArrayDPST, LCAEngine, NodeKind, ROOT_ID
+
+from tests.conftest import build_figure2
+
+
+def make_engine(cache=True):
+    tree = ArrayDPST()
+    ids = build_figure2(tree)
+    return LCAEngine(tree, cache=cache), ids
+
+
+class TestVerdicts:
+    def test_parallel_matches_relation(self):
+        engine, (s11, f12, a2, s2, s12, a3, s3) = make_engine()
+        assert engine.parallel(s2, s3)
+        assert engine.parallel(s2, s12)
+        assert not engine.parallel(s11, s2)
+        assert not engine.parallel(s12, s3)
+
+    def test_series_helper(self):
+        engine, (s11, f12, a2, s2, s12, a3, s3) = make_engine()
+        assert engine.series(s11, s2)
+        assert not engine.series(s2, s3)
+        assert not engine.series(s2, s2)
+
+    def test_self_is_never_parallel_and_not_counted(self):
+        engine, (s11, *_) = make_engine()
+        assert not engine.parallel(s11, s11)
+        assert engine.stats.queries == 0
+
+    def test_precedes(self):
+        engine, (s11, f12, a2, s2, s12, a3, s3) = make_engine()
+        assert engine.precedes(s11, s3)
+        assert not engine.precedes(s3, s11)
+
+
+class TestStats:
+    def test_queries_counted(self):
+        engine, (s11, f12, a2, s2, s12, a3, s3) = make_engine()
+        engine.parallel(s2, s3)
+        engine.parallel(s2, s3)
+        engine.parallel(s3, s2)
+        assert engine.stats.queries == 3
+        assert engine.stats.unique == 1
+        assert engine.stats.hits == 2
+
+    def test_unique_fraction(self):
+        engine, (s11, f12, a2, s2, s12, a3, s3) = make_engine()
+        engine.parallel(s2, s3)
+        engine.parallel(s2, s12)
+        engine.parallel(s2, s3)
+        engine.parallel(s2, s3)
+        assert engine.stats.unique_fraction == 0.5
+
+    def test_unique_fraction_empty(self):
+        engine, _ = make_engine()
+        assert engine.stats.unique_fraction == 0.0
+
+    def test_uncached_counts_unique_too(self):
+        engine, (s11, f12, a2, s2, s12, a3, s3) = make_engine(cache=False)
+        engine.parallel(s2, s3)
+        engine.parallel(s2, s3)
+        engine.parallel(s11, s2)
+        assert engine.stats.queries == 3
+        assert engine.stats.unique == 2
+
+    def test_hops_accumulate(self):
+        engine, (s11, f12, a2, s2, s12, a3, s3) = make_engine(cache=False)
+        before = engine.stats.hops
+        engine.parallel(s2, s3)
+        assert engine.stats.hops > before
+
+    def test_reset_keeps_memo(self):
+        engine, (s11, f12, a2, s2, s12, a3, s3) = make_engine()
+        engine.parallel(s2, s3)
+        engine.reset_stats()
+        assert engine.stats.queries == 0
+        engine.parallel(s2, s3)  # memo hit: no new unique
+        assert engine.stats.queries == 1
+        assert engine.stats.unique == 0
+
+    def test_merge(self):
+        engine, (s11, f12, a2, s2, s12, a3, s3) = make_engine()
+        engine.parallel(s2, s3)
+        other, ids = make_engine()
+        other.parallel(ids[3], ids[6])
+        other.parallel(ids[3], ids[6])
+        engine.stats.merge(other.stats)
+        assert engine.stats.queries == 3
+        assert engine.stats.unique == 2
+
+
+class TestGrowingTree:
+    def test_queries_valid_while_tree_grows(self):
+        tree = ArrayDPST()
+        engine = LCAEngine(tree)
+        f = tree.add_node(ROOT_ID, NodeKind.FINISH)
+        a1 = tree.add_node(f, NodeKind.ASYNC)
+        s1 = tree.add_node(a1, NodeKind.STEP)
+        a2 = tree.add_node(f, NodeKind.ASYNC)
+        s2 = tree.add_node(a2, NodeKind.STEP)
+        assert engine.parallel(s1, s2)
+        # Grow after querying: earlier verdicts stay valid, new ones work.
+        s3 = tree.add_node(ROOT_ID, NodeKind.STEP)
+        assert engine.parallel(s1, s2)
+        assert not engine.parallel(s1, s3)

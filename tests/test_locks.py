@@ -1,0 +1,98 @@
+"""Lock versioning and lockset tracking (Section 3.3)."""
+
+import pytest
+
+from repro.errors import RuntimeUsageError
+from repro.runtime.locks import LockTable, TaskLockState, versioned_name
+
+
+class TestVersionedName:
+    def test_epoch_zero_is_bare(self):
+        assert versioned_name("L", 0) == "L"
+
+    def test_later_epochs_suffixed(self):
+        assert versioned_name("L", 1) == "L#1"
+        assert versioned_name("L", 7) == "L#7"
+
+
+class TestTaskLockState:
+    def test_first_acquire_unversioned(self):
+        state = TaskLockState(1)
+        assert state.acquire("L") == "L"
+        assert state.lockset() == {"L"}
+
+    def test_reacquire_after_release_is_versioned(self):
+        state = TaskLockState(1)
+        state.acquire("L")
+        assert state.release("L") == "L"
+        assert state.acquire("L") == "L#1"
+        state.release("L")
+        assert state.acquire("L") == "L#2"
+
+    def test_versioned_locksets_do_not_intersect(self):
+        """The paper's Figure 12 property: {L} and {L#1} are disjoint."""
+        state = TaskLockState(1)
+        state.acquire("L")
+        first = state.lockset()
+        state.release("L")
+        state.acquire("L")
+        second = state.lockset()
+        assert not (first & second)
+
+    def test_multiple_locks(self):
+        state = TaskLockState(1)
+        state.acquire("L")
+        state.acquire("M")
+        assert state.lockset() == {"L", "M"}
+        assert state.lockset_tuple() == ("L", "M")
+
+    def test_double_acquire_rejected(self):
+        state = TaskLockState(1)
+        state.acquire("L")
+        with pytest.raises(RuntimeUsageError):
+            state.acquire("L")
+
+    def test_release_unheld_rejected(self):
+        state = TaskLockState(1)
+        with pytest.raises(RuntimeUsageError):
+            state.release("L")
+
+    def test_holds(self):
+        state = TaskLockState(1)
+        assert not state.holds_any
+        state.acquire("L")
+        assert state.holds("L")
+        assert state.holds_any
+        assert not state.holds("M")
+
+    def test_lockset_snapshot_is_immutable_view(self):
+        state = TaskLockState(1)
+        state.acquire("L")
+        snapshot = state.lockset()
+        state.release("L")
+        assert snapshot == {"L"}
+        assert state.lockset() == frozenset()
+
+    def test_independent_epochs_per_lock(self):
+        state = TaskLockState(1)
+        state.acquire("L")
+        state.release("L")
+        assert state.acquire("M") == "M"
+        assert state.acquire("L") == "L#1"
+
+
+class TestLockTable:
+    def test_acquire_release_roundtrip(self):
+        table = LockTable()
+        table.acquire("L")
+        table.release("L")
+        table.acquire("L")
+        table.release("L")
+
+    def test_known_locks(self):
+        table = LockTable()
+        table.acquire("B")
+        table.release("B")
+        table.acquire("A")
+        table.release("A")
+        assert table.known_locks() == ("A", "B")

@@ -1,0 +1,139 @@
+"""Multi-variable atomicity groups: checker-level unit tests.
+
+Complements the suite's multivar category with direct metadata-level
+assertions: grouped locations share one metadata cell, cross-member
+triples are detected, and the same accesses without grouping are quiet.
+"""
+
+import pytest
+
+from repro.checker import BasicAtomicityChecker, OptAtomicityChecker
+from repro.checker.annotations import AtomicAnnotations
+from repro.dpst import ArrayDPST
+from repro.report import READ, WRITE
+from repro.runtime.events import MemoryEvent
+from repro.trace.replay import replay_memory_events
+
+from tests.conftest import build_figure2
+
+
+def mem(seq, task, step, loc, access, lockset=()):
+    return MemoryEvent(seq, task, step, loc, access, lockset)
+
+
+@pytest.fixture
+def fig2():
+    tree = ArrayDPST()
+    s11, f12, a2, s2, s12, a3, s3 = build_figure2(tree)
+    return tree, s2, s3
+
+
+def group_annotations():
+    annotations = AtomicAnnotations()
+    annotations.annotate_group("acct", ["checking", "savings"])
+    return annotations
+
+
+class TestCrossMemberTriples:
+    def events_snapshot_vs_write(self, s2, s3):
+        """s2 reads both members; s3 writes one of them."""
+        return [
+            mem(0, 2, s2, "checking", READ),
+            mem(1, 2, s2, "savings", READ),
+            mem(2, 3, s3, "savings", WRITE),
+        ]
+
+    def test_grouped_detects(self, fig2):
+        tree, s2, s3 = fig2
+        checker = OptAtomicityChecker()
+        replay_memory_events(
+            self.events_snapshot_vs_write(s2, s3),
+            checker,
+            dpst=tree,
+            annotations=group_annotations(),
+        )
+        assert checker.report.locations() == [("group", "acct")]
+
+    def test_ungrouped_misses(self, fig2):
+        tree, s2, s3 = fig2
+        checker = OptAtomicityChecker()
+        annotations = AtomicAnnotations().annotate("checking").annotate("savings")
+        replay_memory_events(
+            self.events_snapshot_vs_write(s2, s3),
+            checker,
+            dpst=tree,
+            annotations=annotations,
+        )
+        assert not checker.report
+
+    def test_basic_checker_agrees(self, fig2):
+        tree, s2, s3 = fig2
+        checker = BasicAtomicityChecker()
+        replay_memory_events(
+            self.events_snapshot_vs_write(s2, s3),
+            checker,
+            dpst=tree,
+            annotations=group_annotations(),
+        )
+        assert checker.report.locations() == [("group", "acct")]
+
+    def test_write_write_across_members(self, fig2):
+        tree, s2, s3 = fig2
+        events = [
+            mem(0, 2, s2, "checking", WRITE),
+            mem(1, 2, s2, "savings", WRITE),
+            mem(2, 3, s3, "checking", WRITE),
+        ]
+        checker = OptAtomicityChecker()
+        replay_memory_events(
+            events, checker, dpst=tree, annotations=group_annotations()
+        )
+        assert len(checker.report) >= 1
+        assert checker.report.locations() == [("group", "acct")]
+
+
+class TestGroupMetadataSharing:
+    def test_single_metadata_cell(self, fig2):
+        tree, s2, s3 = fig2
+        checker = OptAtomicityChecker()
+        events = [
+            mem(0, 2, s2, "checking", READ),
+            mem(1, 2, s2, "savings", WRITE),
+        ]
+        replay_memory_events(
+            events, checker, dpst=tree, annotations=group_annotations()
+        )
+        assert checker.tracked_locations() == 1
+
+    def test_group_key_in_report(self, fig2):
+        tree, s2, s3 = fig2
+        checker = OptAtomicityChecker()
+        events = [
+            mem(0, 2, s2, "checking", READ),
+            mem(1, 2, s2, "savings", WRITE),
+            mem(2, 3, s3, "checking", WRITE),
+        ]
+        replay_memory_events(
+            events, checker, dpst=tree, annotations=group_annotations()
+        )
+        violation = checker.report.violations[0]
+        assert violation.location == ("group", "acct")
+        # The individual accesses keep their member locations for debugging.
+        assert violation.first.location == "checking"
+        assert violation.third.location == "savings"
+
+
+class TestUncheckedLocations:
+    def test_other_locations_ignored_entirely(self, fig2):
+        tree, s2, s3 = fig2
+        checker = OptAtomicityChecker()
+        events = [
+            mem(0, 2, s2, "scratch", READ),
+            mem(1, 2, s2, "scratch", WRITE),
+            mem(2, 3, s3, "scratch", WRITE),
+        ]
+        replay_memory_events(
+            events, checker, dpst=tree, annotations=group_annotations()
+        )
+        assert not checker.report
+        assert checker.tracked_locations() == 0

@@ -1,0 +1,135 @@
+"""Violation report objects: deduplication, queries, rendering."""
+
+from repro.report import (
+    READ,
+    WRITE,
+    AccessInfo,
+    AtomicityViolation,
+    TraceCycleViolation,
+    ViolationReport,
+    merge_reports,
+)
+
+
+def make_violation(location="X", steps=(1, 2, 1), pattern="RWW"):
+    a1 = AccessInfo(step=steps[0], access_type=READ, location=location, task=1)
+    a2 = AccessInfo(step=steps[1], access_type=WRITE, location=location, task=2)
+    a3 = AccessInfo(step=steps[2], access_type=WRITE, location=location, task=1)
+    return AtomicityViolation(
+        location=location, first=a1, second=a2, third=a3, pattern=pattern,
+        checker="test",
+    )
+
+
+class TestDeduplication:
+    def test_add_returns_true_for_new(self):
+        report = ViolationReport()
+        assert report.add(make_violation())
+
+    def test_duplicate_not_double_counted(self):
+        report = ViolationReport()
+        report.add(make_violation())
+        assert not report.add(make_violation())
+        assert len(report) == 1
+        assert report.raw_count == 2
+
+    def test_different_location_is_distinct(self):
+        report = ViolationReport()
+        report.add(make_violation("X"))
+        report.add(make_violation("Y"))
+        assert len(report) == 2
+
+    def test_different_pattern_is_distinct(self):
+        report = ViolationReport()
+        report.add(make_violation(pattern="RWW"))
+        report.add(make_violation(pattern="RWR"))
+        assert len(report) == 2
+
+    def test_cycle_dedup_ignores_rotation(self):
+        report = ViolationReport()
+        closing = AccessInfo(step=3, access_type=WRITE, location="X")
+        report.add_cycle(TraceCycleViolation("X", (1, 2, 3), closing))
+        assert not report.add_cycle(TraceCycleViolation("X", (2, 3, 1), closing))
+        assert len(report.cycles) == 1
+
+
+class TestQueries:
+    def test_bool_and_len(self):
+        report = ViolationReport()
+        assert not report
+        report.add(make_violation())
+        assert report
+        assert len(report) == 1
+
+    def test_locations(self):
+        report = ViolationReport()
+        report.add(make_violation("B"))
+        report.add(make_violation("A"))
+        report.add(make_violation("B", steps=(5, 6, 5)))
+        assert report.locations() == ["B", "A"]
+
+    def test_for_location(self):
+        report = ViolationReport()
+        report.add(make_violation("X"))
+        report.add(make_violation("Y"))
+        assert len(report.for_location("X")) == 1
+
+    def test_patterns(self):
+        report = ViolationReport()
+        report.add(make_violation(pattern="WWW"))
+        report.add(make_violation(pattern="RWR"))
+        assert report.patterns() == ["RWR", "WWW"]
+
+    def test_iteration_covers_both_kinds(self):
+        report = ViolationReport()
+        report.add(make_violation())
+        closing = AccessInfo(step=3, access_type=WRITE, location="X")
+        report.add_cycle(TraceCycleViolation("X", (1, 2), closing))
+        assert len(list(report)) == 2
+
+
+class TestRendering:
+    def test_empty_describe(self):
+        assert ViolationReport().describe() == "no violations"
+
+    def test_describe_mentions_pattern_and_location(self):
+        report = ViolationReport()
+        report.add(make_violation("counter", pattern="RWW"))
+        text = report.describe()
+        assert "counter" in text
+        assert "RWW" in text
+        assert "interleaving parallel access" in text
+
+    def test_access_info_describe(self):
+        info = AccessInfo(step=4, access_type=WRITE, location="X", task=2,
+                          lockset=("L", "M"))
+        text = info.describe()
+        assert "W('X')" in text
+        assert "step 4" in text
+        assert "task 2" in text
+        assert "L, M" in text
+
+    def test_cycle_describe(self):
+        closing = AccessInfo(step=3, access_type=WRITE, location="X")
+        cycle = TraceCycleViolation("X", (1, 2, 3), closing)
+        assert "1 -> 2 -> 3" in cycle.describe()
+
+
+class TestMerging:
+    def test_extend_deduplicates(self):
+        first = ViolationReport()
+        first.add(make_violation())
+        second = ViolationReport()
+        second.add(make_violation())
+        second.add(make_violation("Y"))
+        first.extend(second)
+        assert len(first) == 2
+
+    def test_merge_reports(self):
+        reports = []
+        for location in ("A", "B", "A"):
+            r = ViolationReport()
+            r.add(make_violation(location))
+            reports.append(r)
+        merged = merge_reports(reports)
+        assert len(merged) == 2

@@ -1,0 +1,243 @@
+"""DPST construction by the runtime: the shapes of Section 2.
+
+These tests pin the construction rules: step nodes are maximal non-empty
+access runs, the first spawn after a task start/sync creates a finish
+node, spawned tasks hang under async nodes, sync pops the implicit scope.
+"""
+
+from repro.dpst import NodeKind, ROOT_ID, relation
+from repro.runtime import SerialExecutor, TaskProgram, TraceRecorder, run_program
+
+
+def shape(result):
+    """(kind-letters by id) compact shape string for assertions."""
+    tree = result.dpst
+    return "".join(tree.kind(n).short() for n in tree.nodes())
+
+
+def run(body, **kw):
+    return run_program(TaskProgram(body), record_trace=True, **kw)
+
+
+class TestStepFormation:
+    def test_no_accesses_no_steps(self):
+        def main(ctx):
+            pass
+
+        result = run(main)
+        assert len(result.dpst) == 1  # root only
+
+    def test_accesses_share_one_step(self):
+        def main(ctx):
+            ctx.write("X", 1)
+            ctx.read("X")
+            ctx.write("Y", 2)
+
+        result = run(main)
+        events = result.recorder.memory_events()
+        assert len({e.step for e in events}) == 1
+        assert shape(result) == "FS"
+
+    def test_spawn_ends_step(self):
+        def child(ctx):
+            ctx.read("X")
+
+        def main(ctx):
+            ctx.read("X")       # step A
+            ctx.spawn(child)
+            ctx.read("X")       # step B (continuation)
+            ctx.sync()
+
+        result = run(main)
+        events = result.recorder.memory_events()
+        main_steps = [e.step for e in events if e.task == 0]
+        assert main_steps[0] != main_steps[1]
+
+    def test_sync_ends_step(self):
+        def child(ctx):
+            ctx.read("X")
+
+        def main(ctx):
+            ctx.spawn(child)
+            ctx.read("X")
+            ctx.sync()
+            ctx.read("X")
+
+        result = run(main)
+        main_steps = [e.step for e in result.recorder.memory_events() if e.task == 0]
+        assert main_steps[0] != main_steps[1]
+
+    def test_empty_region_between_spawns_makes_no_step(self):
+        def child(ctx):
+            ctx.read("X")
+
+        def main(ctx):
+            ctx.spawn(child)
+            ctx.spawn(child)    # no accesses between the spawns
+            ctx.sync()
+
+        result = run(main)
+        # root F, implicit finish F, two asyncs with one step each: no
+        # empty step node for the gap.
+        kinds = [result.dpst.kind(n) for n in result.dpst.nodes()]
+        assert kinds.count(NodeKind.STEP) == 2
+
+
+class TestFigure2Construction:
+    def build(self):
+        def t2(ctx):
+            a = ctx.read("X")
+            ctx.write("X", a + 1)
+
+        def t3(ctx):
+            ctx.write("X", ctx.read("Y"))
+            ctx.add("Y", 1)
+
+        def main(ctx):
+            ctx.write("X", 10)   # S11
+            ctx.spawn(t2)
+            ctx.add("Y", 1)      # S12
+            ctx.spawn(t3)
+            ctx.sync()
+
+        return run(main)
+
+    def test_shape_matches_figure2(self):
+        result = self.build()
+        tree = result.dpst
+        root_children = tree.children(ROOT_ID)
+        assert len(root_children) == 2
+        s11, f12 = root_children
+        assert tree.kind(s11) is NodeKind.STEP
+        assert tree.kind(f12) is NodeKind.FINISH
+        inner = tree.children(f12)
+        assert [tree.kind(n) for n in inner] == [
+            NodeKind.ASYNC,
+            NodeKind.STEP,
+            NodeKind.ASYNC,
+        ]
+
+    def test_relations_match_paper_claims(self):
+        result = self.build()
+        tree = result.dpst
+        events = result.recorder.memory_events()
+        steps_of = {}
+        for event in events:
+            steps_of.setdefault(event.task, [])
+            if event.step not in steps_of[event.task]:
+                steps_of[event.task].append(event.step)
+        s11, s12 = steps_of[0]
+        (s2,) = steps_of[1]
+        (s3,) = steps_of[2]
+        assert relation.parallel(tree, s2, s12)
+        assert relation.parallel(tree, s2, s3)
+        assert not relation.parallel(tree, s11, s2)
+        assert not relation.parallel(tree, s12, s3)
+
+
+class TestSyncScoping:
+    def test_sync_closes_scope_so_later_spawn_gets_new_finish(self):
+        def child(ctx):
+            ctx.read("X")
+
+        def main(ctx):
+            ctx.spawn(child)
+            ctx.sync()
+            ctx.spawn(child)
+            ctx.sync()
+
+        result = run(main)
+        tree = result.dpst
+        finishes = [
+            n
+            for n in tree.nodes()
+            if n != ROOT_ID and tree.kind(n) is NodeKind.FINISH
+        ]
+        assert len(finishes) == 2
+        assert all(tree.parent(f) == ROOT_ID for f in finishes)
+
+    def test_tasks_in_series_across_sync(self):
+        def child(ctx):
+            ctx.read("X")
+
+        def main(ctx):
+            ctx.spawn(child)
+            ctx.sync()
+            ctx.spawn(child)
+            ctx.sync()
+
+        result = run(main)
+        tree = result.dpst
+        events = result.recorder.memory_events()
+        first = next(e.step for e in events if e.task == 1)
+        second = next(e.step for e in events if e.task == 2)
+        assert relation.precedes(tree, first, second)
+
+
+class TestExplicitFinish:
+    def test_finish_node_created(self):
+        def child(ctx):
+            ctx.read("X")
+
+        def main(ctx):
+            with ctx.finish():
+                ctx.spawn(child)
+
+        result = run(main)
+        tree = result.dpst
+        finish = tree.children(ROOT_ID)[0]
+        assert tree.kind(finish) is NodeKind.FINISH
+        async_node = tree.children(finish)[0]
+        assert tree.kind(async_node) is NodeKind.ASYNC
+
+    def test_asyncs_in_finish_are_parallel(self):
+        def child(ctx, i):
+            ctx.read(("X", i))
+
+        def main(ctx):
+            with ctx.finish():
+                ctx.spawn(child, 0)
+                ctx.spawn(child, 1)
+
+        result = run(main)
+        tree = result.dpst
+        events = result.recorder.memory_events()
+        s0 = next(e.step for e in events if e.task == 1)
+        s1 = next(e.step for e in events if e.task == 2)
+        assert relation.parallel(tree, s0, s1)
+
+    def test_after_finish_in_series(self):
+        def child(ctx):
+            ctx.read("X")
+
+        def main(ctx):
+            with ctx.finish():
+                ctx.spawn(child)
+            ctx.read("X")   # after the finish closes
+
+        result = run(main)
+        tree = result.dpst
+        events = result.recorder.memory_events()
+        child_step = next(e.step for e in events if e.task == 1)
+        after_step = next(e.step for e in events if e.task == 0)
+        assert relation.precedes(tree, child_step, after_step)
+
+
+class TestLayouts:
+    def test_both_layouts_produce_identical_trees(self):
+        def child(ctx):
+            ctx.add("X", 1)
+
+        def main(ctx):
+            ctx.write("X", 0)
+            ctx.spawn(child)
+            ctx.spawn(child)
+            ctx.sync()
+            ctx.read("X")
+
+        array = run(main, dpst_layout="array").dpst
+        linked = run(main, dpst_layout="linked").dpst
+        assert len(array) == len(linked)
+        for node in array.nodes():
+            assert array.kind(node) == linked.kind(node)
+            assert array.parent(node) == linked.parent(node)

@@ -1,0 +1,74 @@
+"""Shadow memory: values, defaults, strict mode, accounting."""
+
+import pytest
+
+from repro.errors import RuntimeUsageError
+from repro.runtime.shadow import ShadowMemory
+
+
+class TestValues:
+    def test_store_then_load(self):
+        shadow = ShadowMemory()
+        shadow.store("X", 42)
+        assert shadow.load("X") == 42
+
+    def test_default_for_unwritten(self):
+        shadow = ShadowMemory(default=7)
+        assert shadow.load("missing") == 7
+
+    def test_initial_memory(self):
+        shadow = ShadowMemory(initial={"X": 1, ("a", 0): 2})
+        assert shadow.load("X") == 1
+        assert shadow.load(("a", 0)) == 2
+
+    def test_strict_mode_raises(self):
+        shadow = ShadowMemory(default=ShadowMemory.STRICT)
+        with pytest.raises(RuntimeUsageError):
+            shadow.load("missing")
+
+    def test_strict_mode_ok_after_write(self):
+        shadow = ShadowMemory(default=ShadowMemory.STRICT)
+        shadow.store("X", 1)
+        assert shadow.load("X") == 1
+
+    def test_tuple_locations(self):
+        shadow = ShadowMemory()
+        shadow.store(("grid", 2, 3), 9)
+        assert shadow.load(("grid", 2, 3)) == 9
+        assert shadow.load(("grid", 3, 2)) == 0
+
+
+class TestAccounting:
+    def test_counts(self):
+        shadow = ShadowMemory()
+        shadow.store("X", 1)
+        shadow.load("X")
+        shadow.load("Y")
+        assert shadow.write_count == 1
+        assert shadow.read_count == 2
+        assert shadow.access_count == 3
+
+    def test_unique_locations(self):
+        shadow = ShadowMemory(initial={"A": 0})
+        shadow.store("B", 1)
+        shadow.store("B", 2)
+        assert shadow.unique_locations == 2
+
+    def test_peek_does_not_count(self):
+        shadow = ShadowMemory(initial={"X": 5})
+        assert shadow.peek("X") == 5
+        assert shadow.peek("missing", default="d") == "d"
+        assert shadow.read_count == 0
+
+    def test_snapshot_is_copy(self):
+        shadow = ShadowMemory(initial={"X": 1})
+        snap = shadow.snapshot()
+        snap["X"] = 99
+        assert shadow.load("X") == 1
+
+    def test_contains_and_len(self):
+        shadow = ShadowMemory(initial={"X": 1})
+        assert "X" in shadow
+        assert "Y" not in shadow
+        assert len(shadow) == 1
+        assert list(shadow.locations()) == ["X"]

@@ -1,0 +1,208 @@
+"""Static access-set analysis and trace-coverage validation."""
+
+import pytest
+
+from repro.report import READ, WRITE
+from repro.runtime import TaskProgram, run_program
+from repro.static import (
+    AccessPattern,
+    analyze_function,
+    analyze_spec,
+    check_trace_coverage,
+)
+from repro.static.accesses import EXACT, PREFIX, UNKNOWN
+from repro.trace.generator import GeneratorConfig, TraceGenerator
+
+
+# -- module-level task bodies for the AST front end --------------------------
+
+
+def _child_reader(ctx):
+    ctx.read("X")
+
+
+def _child_rmw(ctx):
+    ctx.add("Y", 1)
+
+
+def _parent(ctx):
+    ctx.write("X", 0)
+    ctx.spawn(_child_reader)
+    ctx.spawn(_child_rmw)
+    ctx.sync()
+
+
+def _tuple_locations(ctx):
+    ctx.read(("grid", 0, 1))
+    for i in range(3):
+        ctx.write(("grid", i, 0), i)   # dynamic index -> prefix pattern
+
+
+def _dynamic_everything(ctx, loc):
+    ctx.read(loc)                      # -> unknown pattern
+
+
+class TestSpecFrontEnd:
+    def test_exact_from_spec(self):
+        config = GeneratorConfig(tasks=3, accesses_per_task=3, locations=2, seed=4)
+        spec = TraceGenerator(config).generate_spec()
+        result = analyze_spec(spec)
+        assert result.is_precise
+        assert all(p.kind == EXACT for p in result.patterns)
+
+    def test_spec_matches_trace_exactly(self):
+        """Spec analysis + generated trace: full coverage, no surprises."""
+        config = GeneratorConfig(tasks=3, accesses_per_task=3, locations=2, seed=4)
+        generator = TraceGenerator(config)
+        spec = generator.generate_spec(seed=9)
+        static = analyze_spec(spec)
+        program = generator.program_from_spec(spec)
+        trace = run_program(program, record_trace=True).trace
+        report = check_trace_coverage(static, trace)
+        assert report.complete, report.describe()
+
+    def test_nested_spec_items(self):
+        spec = (
+            "task",
+            (
+                ("access", "A", READ),
+                ("locked", "L", (("access", "B", WRITE),)),
+                ("finish", (("spawn", (("access", "C", READ),)),)),
+                ("sync",),
+            ),
+        )
+        result = analyze_spec(spec)
+        locations = result.exact_locations()
+        assert locations == {"A", "B", "C"}
+
+    def test_bad_spec_item(self):
+        with pytest.raises(ValueError):
+            analyze_spec((("teleport", "X"),))
+
+
+class TestAstFrontEnd:
+    def test_constant_locations(self):
+        result = analyze_function(_parent)
+        assert result.may_access("X", WRITE)
+        assert result.may_access("X", READ)       # child reader
+        assert result.may_access("Y", READ)       # ctx.add reads...
+        assert result.may_access("Y", WRITE)      # ...and writes
+        assert not result.unresolved_tasks
+
+    def test_rmw_counts_both_ways(self):
+        result = analyze_function(_child_rmw)
+        kinds = {(p.access_type) for p in result.patterns}
+        assert kinds == {READ, WRITE}
+
+    def test_tuple_prefix_degradation(self):
+        result = analyze_function(_tuple_locations)
+        exact = result.exact_locations(READ)
+        assert ("grid", 0, 1) in exact
+        prefixes = [p for p in result.patterns if p.kind == PREFIX]
+        assert any(p.location == "grid" and p.access_type == WRITE for p in prefixes)
+        assert result.may_access(("grid", 99, 0), WRITE)
+        assert not result.may_access(("other", 0), WRITE)
+
+    def test_dynamic_location_is_unknown(self):
+        result = analyze_function(_dynamic_everything)
+        assert any(p.kind == UNKNOWN for p in result.patterns)
+        assert result.may_access("absolutely anything", READ)
+
+    def test_nested_def_bodies(self):
+        def main(ctx):
+            def worker(c):
+                c.write("nested", 1)
+
+            ctx.spawn(worker)
+            ctx.sync()
+
+        result = analyze_function(main)
+        assert result.may_access("nested", WRITE)
+
+    def test_unresolvable_body_flagged(self):
+        def main(ctx, body):
+            ctx.spawn(body)
+            ctx.sync()
+
+        result = analyze_function(main)
+        assert result.unresolved_tasks
+        assert not result.is_precise
+
+
+class TestCoverage:
+    def run_trace(self, body):
+        return run_program(TaskProgram(body), record_trace=True).trace
+
+    def test_full_coverage(self):
+        trace = self.run_trace(_parent)
+        report = check_trace_coverage(analyze_function(_parent), trace)
+        assert not report.missing
+        assert not report.unpredicted
+        assert report.complete
+
+    def test_untaken_branch_detected(self):
+        def branchy(ctx):
+            ctx.write("flag", 0)
+            if ctx.read("flag"):
+                ctx.write("rare", 1)   # never executed with this input
+
+        trace = self.run_trace(branchy)
+        report = check_trace_coverage(analyze_function(branchy), trace)
+        assert any(p.location == "rare" for p in report.missing)
+        assert not report.complete
+        assert "rare" in report.suspect_locations
+
+    def test_unpredicted_access_detected(self):
+        """A static set missing patterns flags the extra trace accesses."""
+        static = analyze_function(_child_reader)  # knows only R(X)
+        trace = self.run_trace(_parent)           # also writes X, touches Y
+        report = check_trace_coverage(static, trace)
+        assert report.unpredicted
+        assert not report.complete
+
+    def test_imprecise_patterns_reported(self):
+        trace = self.run_trace(_tuple_locations)
+        report = check_trace_coverage(analyze_function(_tuple_locations), trace)
+        assert report.imprecise            # the prefix writes
+        assert not report.complete         # cannot *prove* coverage
+        assert not report.missing
+
+    def test_describe_mentions_verdict(self):
+        trace = self.run_trace(_parent)
+        report = check_trace_coverage(analyze_function(_parent), trace)
+        assert "STANDS" in report.describe()
+
+        def branchy(ctx):
+            ctx.write("flag", 0)
+            if ctx.read("flag"):
+                ctx.write("rare", 1)
+
+        bad = check_trace_coverage(
+            analyze_function(branchy), self.run_trace(branchy)
+        )
+        assert "VOID" in bad.describe()
+        assert "MISSING" in bad.describe()
+
+
+class TestPatternMatching:
+    def test_exact(self):
+        pattern = AccessPattern(EXACT, ("a", 1), READ)
+        assert pattern.matches(("a", 1))
+        assert not pattern.matches(("a", 2))
+
+    def test_prefix(self):
+        pattern = AccessPattern(PREFIX, "a", WRITE)
+        assert pattern.matches(("a", 1))
+        assert pattern.matches(("a", 1, 2))
+        assert not pattern.matches("a")
+        assert not pattern.matches(("b", 1))
+
+    def test_unknown(self):
+        pattern = AccessPattern(UNKNOWN, None, READ)
+        assert pattern.matches("anything")
+        assert pattern.matches(("any", "thing"))
+
+    def test_describe(self):
+        assert AccessPattern(EXACT, "X", WRITE).describe() == "W('X')"
+        assert AccessPattern(PREFIX, "g", READ).describe() == "R(('g', *))"
+        assert AccessPattern(UNKNOWN, None, READ).describe() == "R(?)"

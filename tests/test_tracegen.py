@@ -1,0 +1,121 @@
+"""The trace generator (paper Section 4): shape control and determinism.
+
+The paper's claim for this tool: "Our prototype successfully detects all
+atomicity violations for a given input by examining one execution trace."
+`test_one_trace_suffices` is that claim, verified against the exhaustive
+interleaving explorer.
+"""
+
+import pytest
+
+from repro.checker import OptAtomicityChecker
+from repro.runtime import SerialExecutor, run_program
+from repro.trace.explore import explore_violation_locations
+from repro.trace.generator import GeneratorConfig, TraceGenerator
+from repro.trace.replay import replay_trace
+
+
+class TestDeterminism:
+    def test_same_seed_same_spec(self):
+        generator = TraceGenerator(GeneratorConfig(tasks=4, seed=11))
+        assert generator.generate_spec() == generator.generate_spec()
+
+    def test_different_seeds_differ_somewhere(self):
+        generator = TraceGenerator(GeneratorConfig(tasks=4))
+        specs = {generator.generate_spec(seed) for seed in range(10)}
+        assert len(specs) > 1
+
+    def test_same_seed_same_trace(self):
+        generator = TraceGenerator(GeneratorConfig(tasks=3, seed=5))
+        first = generator.generate_trace()
+        second = generator.generate_trace()
+        assert [e.seq for e in first.memory_events()] == [
+            e.seq for e in second.memory_events()
+        ]
+        assert [e.location for e in first.memory_events()] == [
+            e.location for e in second.memory_events()
+        ]
+
+
+class TestShapeControls:
+    def test_task_budget_respected(self):
+        config = GeneratorConfig(tasks=5, max_depth=3)
+        generator = TraceGenerator(config)
+        for seed in range(10):
+            trace = generator.generate_trace(seed=seed)
+            # root task + at most `tasks` spawned tasks
+            assert len(trace.task_ids()) <= config.tasks + 1
+
+    def test_locations_drawn_from_pool(self):
+        config = GeneratorConfig(tasks=3, locations=2)
+        generator = TraceGenerator(config)
+        for seed in range(5):
+            trace = generator.generate_trace(seed=seed)
+            for event in trace.memory_events():
+                assert event.location in {("g", 0), ("g", 1)}
+
+    def test_no_locks_when_disabled(self):
+        generator = TraceGenerator(GeneratorConfig(tasks=3, locks=0))
+        for seed in range(5):
+            trace = generator.generate_trace(seed=seed)
+            for event in trace.memory_events():
+                assert event.lockset == ()
+
+    def test_consistent_locking_discipline(self):
+        """Each location's accesses always hold the same base lock (or none)."""
+        config = GeneratorConfig(
+            tasks=4, locations=2, locks=2, lock_probability=1.0,
+            consistent_locking=True,
+        )
+        generator = TraceGenerator(config)
+        for seed in range(8):
+            trace = generator.generate_trace(seed=seed)
+            lock_of = {}
+            for event in trace.memory_events():
+                bases = frozenset(name.split("#")[0] for name in event.lockset)
+                previous = lock_of.setdefault(event.location, bases)
+                assert previous == bases
+
+    def test_write_probability_extremes(self):
+        reads_only = TraceGenerator(
+            GeneratorConfig(tasks=2, write_probability=0.0)
+        ).generate_trace(seed=1)
+        assert all(e.is_read for e in reads_only.memory_events())
+        writes_only = TraceGenerator(
+            GeneratorConfig(tasks=2, write_probability=1.0)
+        ).generate_trace(seed=1)
+        assert all(e.is_write for e in writes_only.memory_events())
+
+    def test_invalid_root_spec_rejected(self):
+        generator = TraceGenerator()
+        with pytest.raises(ValueError):
+            generator.program_from_spec(("access", ("g", 0), "read"))
+
+
+class TestOneTraceSuffices:
+    """The paper's completeness demonstration, against the explorer."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_one_trace_suffices(self, seed):
+        config = GeneratorConfig(
+            tasks=3, accesses_per_task=2, locations=1, locks=1,
+            consistent_locking=True, seed=0,
+        )
+        generator = TraceGenerator(config)
+        trace = generator.generate_trace(seed=seed)
+        if len(trace.memory_events()) > 8:
+            pytest.skip("enumeration too large for this seed")
+        ground_truth = explore_violation_locations(trace, max_schedules=3_000)
+        found = set(replay_trace(trace, OptAtomicityChecker()).locations())
+        assert found == ground_truth
+
+    def test_program_rerunnable_under_other_executor(self):
+        generator = TraceGenerator(GeneratorConfig(tasks=3, seed=2))
+        program = generator.generate_program(seed=7)
+        first = run_program(program, observers=[OptAtomicityChecker()])
+        second = run_program(
+            program,
+            executor=SerialExecutor(policy="help_first", order="lifo"),
+            observers=[OptAtomicityChecker()],
+        )
+        assert set(first.report().locations()) == set(second.report().locations())

@@ -1,0 +1,124 @@
+"""Trace visualization: timelines, step tables, violation context."""
+
+import pytest
+
+from repro.checker import OptAtomicityChecker
+from repro.runtime import TaskProgram, run_program
+from repro.trace.trace import Trace
+from repro.trace.visualize import (
+    render_step_table,
+    render_timeline,
+    render_violation_context,
+)
+
+
+@pytest.fixture
+def run():
+    def rmw(ctx):
+        value = ctx.read("X")
+        ctx.write("X", value + 1)
+
+    def writer(ctx):
+        with ctx.lock("L"):
+            ctx.write("X", 9)
+
+    def main(ctx):
+        ctx.write("X", 0)
+        ctx.spawn(rmw)
+        ctx.spawn(writer)
+        ctx.sync()
+
+    checker = OptAtomicityChecker()
+    return run_program(
+        TaskProgram(main), observers=[checker], record_trace=True
+    ), checker
+
+
+class TestTimeline:
+    def test_one_lane_per_task(self, run):
+        result, _ = run
+        text = render_timeline(result.trace)
+        assert "task 0 |" in text
+        assert "task 1 |" in text
+        assert "task 2 |" in text
+
+    def test_cells_show_accesses_and_locks(self, run):
+        result, _ = run
+        text = render_timeline(result.trace)
+        assert "W('X')" in text
+        assert "R('X')" in text
+        assert "+L" in text and "-L" in text
+
+    def test_columns_align(self, run):
+        result, _ = run
+        lines = render_timeline(result.trace).splitlines()
+        assert len({len(line) for line in lines}) == 1  # equal widths
+
+    def test_task_events_optional(self, run):
+        result, _ = run
+        without = render_timeline(result.trace)
+        with_task = render_timeline(result.trace, include_task_events=True)
+        assert "spawn:" not in without
+        assert "spawn:" in with_task
+        assert "sync" in with_task
+
+    def test_truncation(self, run):
+        result, _ = run
+        text = render_timeline(result.trace, max_columns=2)
+        assert "more events shown" in text
+
+    def test_empty_trace(self):
+        assert render_timeline(Trace([])) == "(empty trace)"
+
+
+class TestStepTable:
+    def test_lists_every_accessing_step(self, run):
+        result, _ = run
+        text = render_step_table(result.trace)
+        steps = {e.step for e in result.trace.memory_events()}
+        for step in steps:
+            assert f"S{step}" in text
+
+    def test_shows_location(self, run):
+        result, _ = run
+        assert "'X'" in render_step_table(result.trace)
+
+
+class TestViolationContext:
+    def test_marks_all_three_accesses(self, run):
+        result, checker = run
+        violation = checker.report.violations[0]
+        text = render_violation_context(result.trace, violation)
+        assert "<A1>" in text
+        assert "<A2>" in text
+        assert "<A3>" in text
+
+    def test_includes_description(self, run):
+        result, checker = run
+        violation = checker.report.violations[0]
+        text = render_violation_context(result.trace, violation)
+        assert "Atomicity violation" in text
+
+    def test_filters_to_violation_location(self, run):
+        def noisy(ctx):
+            def rmw(c):
+                value = c.read("X")
+                c.write("X", value + 1)
+
+            def other(c):
+                c.write("Y", 1)
+                c.write("Z", 2)
+
+            ctx.spawn(rmw)
+            ctx.spawn(rmw)
+            ctx.spawn(other)
+            ctx.sync()
+
+        checker = OptAtomicityChecker()
+        result = run_program(
+            TaskProgram(noisy), observers=[checker], record_trace=True
+        )
+        violation = checker.report.violations[0]
+        text = render_violation_context(result.trace, violation)
+        assert "'Y'" not in text
+        assert "'Z'" not in text

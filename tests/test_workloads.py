@@ -1,0 +1,227 @@
+"""The 13 benchmark kernels: registry, correctness, cleanliness, Table 1
+qualitative profile."""
+
+import math
+
+import pytest
+
+from repro.checker import OptAtomicityChecker
+from repro.errors import WorkloadError
+from repro.runtime import WorkStealingExecutor, run_program
+from repro.workloads import WORKLOAD_ORDER, all_workloads, get
+
+SPECS = all_workloads()
+
+
+class TestRegistry:
+    def test_thirteen_workloads_in_table1_order(self):
+        assert [spec.name for spec in SPECS] == WORKLOAD_ORDER
+        assert len(SPECS) == 13
+
+    def test_get_known_and_unknown(self):
+        assert get("kmeans").name == "kmeans"
+        with pytest.raises(WorkloadError):
+            get("doom")
+
+    def test_paper_rows_populated(self):
+        for spec in SPECS:
+            assert spec.paper.locations > 0
+            assert spec.paper.nodes > 0
+            if spec.name == "blackscholes":
+                assert spec.paper.lcas == 0
+                assert spec.paper.unique_pct is None
+            else:
+                assert spec.paper.lcas > 0
+                assert spec.paper.unique_pct is not None
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+class TestEveryWorkload:
+    def test_runs_clean_under_checker(self, spec):
+        checker = OptAtomicityChecker()
+        result = run_program(spec.build(spec.test_scale), observers=[checker])
+        assert not result.report(), result.report().describe()
+
+    def test_scales(self, spec):
+        small = run_program(spec.build(1), collect_stats=True, build_dpst=True)
+        large = run_program(spec.build(3), collect_stats=True, build_dpst=True)
+        assert large.stats.memory_events > small.stats.memory_events
+
+
+class TestBlackscholes:
+    def test_zero_lca_queries(self):
+        """Table 1's signature property of blackscholes."""
+        result = run_program(
+            get("blackscholes").build(1),
+            observers=[OptAtomicityChecker()],
+            collect_stats=True,
+        )
+        assert result.stats.lca_queries == 0
+
+    def test_prices_are_positive(self):
+        result = run_program(get("blackscholes").build(1))
+        prices = [v for k, v in result.shadow.snapshot().items() if k[0] == "price"]
+        assert len(prices) == 40
+        assert all(p >= 0.0 for p in prices)
+
+
+class TestSort:
+    def test_sorts_correctly(self):
+        result = run_program(get("sort").build(1))
+        snapshot = result.shadow.snapshot()
+        values = [snapshot[("a", i)] for i in range(32)]
+        assert values == sorted(values)
+
+    def test_sorts_at_scale(self):
+        result = run_program(get("sort").build(3))
+        snapshot = result.shadow.snapshot()
+        values = [snapshot[("a", i)] for i in range(96)]
+        assert values == sorted(values)
+
+
+class TestKaratsuba:
+    def test_product_is_exact(self):
+        from repro.workloads.karatsuba import BASE
+
+        result = run_program(get("karatsuba").build(1))
+        snapshot = result.shadow.snapshot()
+
+        def as_int(name, size):
+            return sum(snapshot.get((name, i), 0) * BASE**i for i in range(size))
+
+        x = as_int("x", 16)
+        y = as_int("y", 16)
+        z = as_int("z", 32)
+        assert z == x * y
+
+
+class TestKmeans:
+    def test_centroids_move_and_counts_total(self):
+        result = run_program(get("kmeans").build(1))
+        snapshot = result.shadow.snapshot()
+        total = sum(snapshot[("count", j)] for j in range(4))
+        assert total == 24
+        for j in range(4):
+            assert ("cx", j) in snapshot and ("cy", j) in snapshot
+
+    def test_assignments_valid(self):
+        result = run_program(get("kmeans").build(1))
+        snapshot = result.shadow.snapshot()
+        assigns = [v for k, v in snapshot.items() if k[0] == "assign"]
+        assert len(assigns) == 24
+        assert all(0 <= a < 4 for a in assigns)
+
+
+class TestSwaptions:
+    def test_prices_written(self):
+        result = run_program(get("swaptions").build(1))
+        snapshot = result.shadow.snapshot()
+        for s in range(3):
+            assert snapshot[("price", s)] >= 0.0
+            assert snapshot[("sum2", s)] >= 0.0
+
+    def test_many_tasks_spawned(self):
+        result = run_program(get("swaptions").build(1), collect_stats=True,
+                             build_dpst=True)
+        # 3 swaptions x 16 trials via binary splitting: > 48 tasks.
+        assert result.stats.tasks > 48
+
+
+class TestRaycast:
+    def test_every_ray_resolved(self):
+        result = run_program(get("raycast").build(1))
+        snapshot = result.shadow.snapshot()
+        hits = [v for k, v in snapshot.items() if k[0] == "hit"]
+        assert len(hits) == 30
+        assert all(isinstance(h, int) for h in hits)
+
+    def test_density_accumulated(self):
+        result = run_program(get("raycast").build(1))
+        snapshot = result.shadow.snapshot()
+        densities = [v for k, v in snapshot.items() if k[0] == "dens"]
+        assert any(d > 0 for d in densities)
+
+
+class TestConvexhull:
+    def test_hull_contains_extremes(self):
+        result = run_program(get("convexhull").build(1))
+        snapshot = result.shadow.snapshot()
+        count = snapshot[("hull_n",)]
+        assert count >= 3
+        hull = {snapshot[("hull", i)] for i in range(count)}
+        xs = [(snapshot[("px", i)], i) for i in range(28)]
+        assert min(xs)[1] in hull
+        assert max(xs)[1] in hull
+
+    def test_hull_points_unique(self):
+        result = run_program(get("convexhull").build(1))
+        snapshot = result.shadow.snapshot()
+        count = snapshot[("hull_n",)]
+        points = [snapshot[("hull", i)] for i in range(count)]
+        assert len(points) == len(set(points))
+
+
+class TestFluidanimate:
+    def test_mass_conserved_smoothing(self):
+        """Smoothing is an average: densities stay within initial bounds."""
+        result = run_program(get("fluidanimate").build(1))
+        snapshot = result.shadow.snapshot()
+        densities = [v for k, v in snapshot.items() if k[0] == "rho"]
+        assert all(0.4 <= d <= 2.1 for d in densities)
+
+
+class TestStreamcluster:
+    def test_assignments_reference_open_centers(self):
+        result = run_program(get("streamcluster").build(1))
+        snapshot = result.shadow.snapshot()
+        centers = snapshot[("centers_n",)]
+        assert centers >= 1
+        assigns = [v for k, v in snapshot.items() if k[0] == "assign"]
+        assert len(assigns) == 36
+        assert all(0 <= a < centers for a in assigns)
+
+
+class TestDelaunayPair:
+    def test_delrefine_improves_quality(self):
+        result = run_program(get("delrefine").build(1))
+        snapshot = result.shadow.snapshot()
+        assert snapshot[("tri_n",)] > 14  # splits happened
+
+    def test_deltriang_allocates_triangles(self):
+        result = run_program(get("deltriang").build(1))
+        snapshot = result.shadow.snapshot()
+        assert snapshot[("tri_n",)] == 6 + 3 * 18  # 3 children per insert
+
+
+class TestNearestneigh:
+    def test_answers_are_real_points(self):
+        result = run_program(get("nearestneigh").build(1))
+        snapshot = result.shadow.snapshot()
+        answers = [v for k, v in snapshot.items() if k[0] == "nn"]
+        assert len(answers) == 16
+        # -1 is allowed only if grid is empty near the query, which the
+        # expanding-ring probe makes vanishingly unlikely with 20 points.
+        assert sum(1 for a in answers if a >= 0) >= 14
+
+
+class TestBodytrack:
+    def test_pose_tracks_observations(self):
+        result = run_program(get("bodytrack").build(1))
+        snapshot = result.shadow.snapshot()
+        for d in range(4):
+            assert ("pose", d) in snapshot
+        weights = [v for k, v in snapshot.items() if k[0] == "w"]
+        assert len(weights) == 36  # 12 particles x 3 frames
+        assert all(0.0 <= w <= 1.0 for w in weights)
+
+
+class TestUnderWorkStealing:
+    @pytest.mark.parametrize("name", ["sort", "kmeans", "convexhull"])
+    def test_checker_clean_with_threads(self, name):
+        checker = OptAtomicityChecker()
+        result = run_program(
+            get(name).build(1),
+            executor=WorkStealingExecutor(workers=3),
+            observers=[checker],
+        )
+        assert not result.report()
