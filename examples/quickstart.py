@@ -12,12 +12,7 @@ legal schedule one task's write lands between the other's read and write
 Run: ``python examples/quickstart.py``
 """
 
-from repro import (
-    OptAtomicityChecker,
-    TaskProgram,
-    VelodromeChecker,
-    run_program,
-)
+from repro import TaskProgram, run_program
 
 
 def increment(ctx):
@@ -37,16 +32,19 @@ def main(ctx):
 if __name__ == "__main__":
     program = TaskProgram(main, name="quickstart")
 
-    result = run_program(program, observers=[OptAtomicityChecker()])
+    # One run, both analyses; per-checker findings come back on the
+    # ``result.reports`` mapping (checker name -> ViolationReport).
+    result = run_program(program, checkers=["optimized", "velodrome"])
     print(f"final counter value in this schedule: {result.value}")
     print()
     print("optimized checker (all schedules for this input):")
-    print(result.report().describe())
+    print(result.reports["optimized"].describe())
     print()
-
-    velodrome = run_program(program, observers=[VelodromeChecker()])
     print("velodrome (this trace only):")
-    print(velodrome.report().describe())
+    print(result.reports["velodrome"].describe())
+    print()
+    first = result.first_violation()
+    print(f"first violation: pattern {first.pattern} on {first.location!r}")
     print()
     print(
         "Velodrome is quiet because the serial schedule really was atomic;\n"

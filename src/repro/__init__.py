@@ -88,8 +88,10 @@ from repro.runtime import (
     run_program,
 )
 from repro.runtime.program import check_program
+from repro.checker.sharded import check_sharded
+from repro.session import CheckSession, check_trace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "READ",
@@ -130,5 +132,8 @@ __all__ = [
     "parallel_reduce",
     "run_program",
     "check_program",
+    "check_sharded",
+    "CheckSession",
+    "check_trace",
     "__version__",
 ]

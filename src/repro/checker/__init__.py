@@ -19,6 +19,9 @@ Three analyses, all consuming runtime events as
   contrast the paper's Figure 13 draws.
 """
 
+from repro.errors import CheckerError
+from repro.runtime.observer import RuntimeObserver
+
 from repro.checker.access import AccessEntry, TwoAccessPattern
 from repro.checker.annotations import AtomicAnnotations
 from repro.checker.patterns import (
@@ -49,21 +52,73 @@ __all__ = [
     "RaceDetector",
     "RaceReport",
     "ExploringVelodrome",
+    "CHECKER_FACTORIES",
+    "UnknownCheckerError",
+    "make_checker",
+    "checker_name_of",
 ]
 
 
-def make_checker(name: str, **kwargs):
-    """Create a checker by name: ``basic`` | ``optimized`` | ``velodrome``
-    | ``racedetector`` | ``velodrome+explorer``."""
-    factories = {
-        "basic": BasicAtomicityChecker,
-        "optimized": OptAtomicityChecker,
-        "velodrome": VelodromeChecker,
-        "racedetector": RaceDetector,
-        "velodrome+explorer": ExploringVelodrome,
-    }
-    if name not in factories:
-        raise ValueError(
-            f"unknown checker {name!r}; expected one of {sorted(factories)}"
-        )
-    return factories[name](**kwargs)
+#: Registry of checker factories addressable by name.
+CHECKER_FACTORIES = {
+    "basic": BasicAtomicityChecker,
+    "optimized": OptAtomicityChecker,
+    "velodrome": VelodromeChecker,
+    "racedetector": RaceDetector,
+    "velodrome+explorer": ExploringVelodrome,
+}
+
+
+class UnknownCheckerError(CheckerError, ValueError):
+    """An unknown checker name, class, or object was requested.
+
+    Subclasses :class:`ValueError` as well so long-standing
+    ``except ValueError`` callers of :func:`make_checker` keep working.
+    """
+
+
+def make_checker(checker="optimized", **kwargs):
+    """Create a checker from a name, a checker class, or an instance.
+
+    Accepted forms:
+
+    * a registered name -- ``"basic"`` | ``"optimized"`` | ``"velodrome"``
+      | ``"racedetector"`` | ``"velodrome+explorer"``;
+    * a :class:`~repro.runtime.observer.RuntimeObserver` subclass, which is
+      instantiated with ``**kwargs``;
+    * a pre-built observer instance, returned as-is (``kwargs`` must then
+      be empty -- the instance is already configured).
+
+    Anything else raises :class:`UnknownCheckerError` (a
+    :class:`~repro.errors.CheckerError`).
+    """
+    if isinstance(checker, str):
+        factory = CHECKER_FACTORIES.get(checker)
+        if factory is None:
+            raise UnknownCheckerError(
+                f"unknown checker {checker!r}; expected one of "
+                f"{sorted(CHECKER_FACTORIES)}"
+            )
+        return factory(**kwargs)
+    if isinstance(checker, type) and issubclass(checker, RuntimeObserver):
+        return checker(**kwargs)
+    if isinstance(checker, RuntimeObserver):
+        if kwargs:
+            raise UnknownCheckerError(
+                f"checker instance {checker!r} cannot take keyword "
+                f"arguments {sorted(kwargs)}; configure it at construction"
+            )
+        return checker
+    raise UnknownCheckerError(
+        f"cannot build a checker from {checker!r}; pass a registered name, "
+        "a RuntimeObserver subclass, or a checker instance"
+    )
+
+
+def checker_name_of(checker) -> str:
+    """Best-effort display name for any :func:`make_checker` input."""
+    if isinstance(checker, str):
+        return checker
+    if isinstance(checker, type):
+        return getattr(checker, "checker_name", checker.__name__)
+    return getattr(checker, "checker_name", type(checker).__name__)

@@ -64,6 +64,7 @@ class BasicAtomicityChecker(RuntimeObserver):
     """Unbounded access histories, checked on every access (Figure 3+)."""
 
     requires_dpst = True
+    location_sharded = True
     checker_name = "basic"
 
     def __init__(self) -> None:

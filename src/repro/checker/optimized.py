@@ -60,6 +60,7 @@ class OptAtomicityChecker(RuntimeObserver):
     """Figures 6-9: fixed-size global + local metadata spaces."""
 
     requires_dpst = True
+    location_sharded = True
     checker_name = "optimized"
 
     def __init__(self, mode: str = "paper") -> None:

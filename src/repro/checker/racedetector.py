@@ -86,6 +86,7 @@ class RaceDetector(RuntimeObserver):
     """DPST-based race detection with SPD3-style fixed shadow cells."""
 
     requires_dpst = True
+    location_sharded = True
     checker_name = "racedetector"
 
     def __init__(self) -> None:

@@ -1,0 +1,268 @@
+"""Location-sharded parallel trace checking.
+
+The optimized checker's state (paper Figures 6-9) is keyed entirely by
+location: one :class:`~repro.checker.metadata.GlobalSpace` per location
+and one :class:`~repro.checker.metadata.LocalCell` per (task, location).
+Against an immutable, fully-built DPST the analysis of one location never
+reads or writes another location's metadata, so a recorded trace can be
+partitioned by location hash and each shard checked in its own process --
+the verdict is the union of the per-shard verdicts.  The same holds for
+the basic checker (per-location access histories) and the race detector
+(per-location shadow cells); such observers advertise it with
+``location_sharded = True``.  Velodrome does *not* qualify: its
+happens-before graph spans locations, and sharding would silently drop
+cross-location cycles, so the driver refuses it for ``jobs > 1``.
+
+Sharding key: multi-variable annotation groups share one metadata cell, so
+events are bucketed by ``annotations.metadata_key(location)`` -- a group's
+members always land in the same shard.
+
+Two input shapes:
+
+* an in-memory :class:`~repro.trace.trace.Trace` -- events are partitioned
+  in the parent and shipped to workers (with the DPST flattened once);
+* a trace *file path* -- each worker streams the file itself through
+  :class:`~repro.trace.serialize.TraceReader` and keeps only its shard, so
+  the parent never materializes the events and traces larger than RAM can
+  be checked.
+
+Workers replay their shard with :func:`repro.trace.replay.replay_memory_events`
+and return a :class:`~repro.report.ViolationReport`; the driver merges them
+with :meth:`ViolationReport.merge`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.checker import checker_name_of, make_checker
+from repro.checker.annotations import AtomicAnnotations
+from repro.errors import CheckerError, TraceError
+from repro.report import ViolationReport
+from repro.runtime.events import MemoryEvent
+from repro.trace.replay import replay_memory_events
+from repro.trace.serialize import (
+    TraceReader,
+    dpst_from_dict,
+    dpst_to_dict,
+    location_shard_key,
+    open_trace,
+)
+from repro.trace.trace import Trace
+
+Location = Hashable
+
+#: Any form :func:`repro.checker.make_checker` accepts.
+CheckerSpec = Any
+
+TraceSource = Union[Trace, TraceReader, str, "os.PathLike[str]"]
+
+
+def shard_for_location(location: Location, jobs: int) -> int:
+    """Deterministic shard index of *location* in ``[0, jobs)``.
+
+    Keys on :func:`~repro.trace.serialize.location_shard_key` (CRC-32 of
+    the location's ``repr``) rather than Python's builtin ``hash``: string
+    hashing is randomized per process (PYTHONHASHSEED), and every worker
+    process must agree on the partition.  The same key is stamped on v2
+    trace lines, so file-streaming workers route lines without decoding
+    them.
+    """
+    if jobs <= 1:
+        return 0
+    return location_shard_key(location) % jobs
+
+
+def partition_memory_events(
+    events: Iterable[object],
+    jobs: int,
+    annotations: Optional[AtomicAnnotations] = None,
+) -> List[List[MemoryEvent]]:
+    """Bucket the memory events of *events* into ``jobs`` shards.
+
+    Relative order within each shard is trace order.  With non-trivial
+    *annotations*, bucketing keys on ``metadata_key`` so every member of a
+    multi-variable group shares a shard (they share a metadata cell).
+    """
+    shards: List[List[MemoryEvent]] = [[] for _ in range(jobs)]
+    keyed = annotations is not None and not annotations.trivial
+    for event in events:
+        if not isinstance(event, MemoryEvent):
+            continue
+        key = annotations.metadata_key(event.location) if keyed else event.location
+        shards[shard_for_location(key, jobs)].append(event)
+    return shards
+
+
+def _require_shardable(checker: CheckerSpec) -> None:
+    """Raise :class:`CheckerError` unless *checker* is per-location."""
+    prototype = make_checker(checker) if isinstance(checker, str) else checker
+    if not getattr(prototype, "location_sharded", False):
+        raise CheckerError(
+            f"checker {checker_name_of(checker)!r} is not location-sharded "
+            "(its verdict depends on cross-location event order); "
+            "run it with jobs=1"
+        )
+
+
+def _fresh_checker(spec: CheckerSpec):
+    """Instantiate one shard's checker from a (possibly pickled) spec.
+
+    Worker processes each get their own unpickled copy of an instance
+    spec, so sharing a pre-built instance across shards is safe -- every
+    shard replays into private state.
+    """
+    return make_checker(spec)
+
+
+# -- worker bodies (top level so multiprocessing can pickle them) -----------
+
+
+def _check_shard_events(
+    args: Tuple[Any, ...]
+) -> ViolationReport:
+    """Replay one pre-partitioned shard of in-memory events."""
+    dpst_dict, events, spec, annotations, lca_cache, parallel_engine = args
+    dpst = None if dpst_dict is None else dpst_from_dict(dpst_dict)
+    return replay_memory_events(
+        events,
+        _fresh_checker(spec),
+        dpst=dpst,
+        annotations=annotations,
+        lca_cache=lca_cache,
+        parallel_engine=parallel_engine,
+    )
+
+
+def _check_shard_from_file(args: Tuple[Any, ...]) -> ViolationReport:
+    """Stream a trace file and replay only this worker's shard."""
+    path, shard, jobs, spec, annotations, lca_cache, parallel_engine = args
+    reader = open_trace(path)
+    keyed = annotations is not None and not annotations.trivial
+
+    if keyed:
+        # Group-aware key: the line's "sk" stamp (raw location) may not
+        # match metadata_key, so decode every line and re-key.
+        def shard_stream():
+            for event in reader.memory_events():
+                key = annotations.metadata_key(event.location)
+                if shard_for_location(key, jobs) == shard:
+                    yield event
+
+        events = shard_stream()
+    else:
+        # Fast path: the reader shard-filters raw lines by their "sk"
+        # stamp, so this worker only JSON-decodes its own 1/jobs slice.
+        events = reader.memory_events(shard=shard, jobs=jobs)
+
+    return replay_memory_events(
+        events,
+        _fresh_checker(spec),
+        dpst=reader.dpst,
+        annotations=annotations,
+        lca_cache=lca_cache,
+        parallel_engine=parallel_engine,
+    )
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits the interpreter); fall back to default."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def default_jobs() -> int:
+    """Default worker count: one per CPU."""
+    return os.cpu_count() or 1
+
+
+def check_sharded(
+    source: TraceSource,
+    checker: CheckerSpec = "optimized",
+    jobs: Optional[int] = None,
+    annotations: Optional[AtomicAnnotations] = None,
+    lca_cache: bool = True,
+    parallel_engine: str = "lca",
+) -> ViolationReport:
+    """Check *source* with ``jobs`` parallel per-location shards.
+
+    Parameters
+    ----------
+    source:
+        A :class:`Trace`, a :class:`TraceReader`, or a trace file path
+        (either serialization format; the streaming JSONL format keeps
+        memory bounded).
+    checker:
+        Anything :func:`repro.checker.make_checker` accepts -- a name, a
+        checker class, or a pre-built instance.  With ``jobs > 1`` the
+        checker must be ``location_sharded``.
+    jobs:
+        Worker process count; ``None`` means one per CPU; ``1`` checks
+        in-process with no multiprocessing at all.
+    annotations / lca_cache / parallel_engine:
+        Forwarded to replay; annotations also steer the sharding key so
+        multi-variable groups stay together.
+
+    Returns the merged, deduplicated :class:`ViolationReport`.
+    """
+    jobs = default_jobs() if jobs is None else jobs
+    if jobs < 1:
+        raise TraceError(f"jobs must be >= 1, got {jobs}")
+
+    if isinstance(source, (str, os.PathLike)):
+        reader: Optional[TraceReader] = open_trace(source)
+        path: Optional[str] = reader.path
+        trace: Optional[Trace] = None
+    elif isinstance(source, TraceReader):
+        reader = source
+        path = source.path
+        trace = None
+    elif isinstance(source, Trace):
+        reader = None
+        path = None
+        trace = source
+    else:
+        raise TraceError(
+            f"cannot check {type(source).__name__}: expected a Trace, "
+            "a TraceReader, or a trace file path"
+        )
+
+    if jobs == 1:
+        events: Iterable[MemoryEvent]
+        if trace is not None:
+            events, dpst = trace.memory_events(), trace.dpst
+        else:
+            events, dpst = reader.memory_events(), reader.dpst
+        return replay_memory_events(
+            events,
+            make_checker(checker),
+            dpst=dpst,
+            annotations=annotations,
+            lca_cache=lca_cache,
+            parallel_engine=parallel_engine,
+        )
+
+    _require_shardable(checker)
+    context = _pool_context()
+    if trace is not None:
+        shards = partition_memory_events(trace.events, jobs, annotations)
+        dpst_dict = None if trace.dpst is None else dpst_to_dict(trace.dpst)
+        work = [
+            (dpst_dict, shard, checker, annotations, lca_cache, parallel_engine)
+            for shard in shards
+            if shard
+        ]
+        if not work:
+            return ViolationReport()
+        with context.Pool(processes=min(jobs, len(work))) as pool:
+            reports = pool.map(_check_shard_events, work)
+    else:
+        work = [
+            (path, shard, jobs, checker, annotations, lca_cache, parallel_engine)
+            for shard in range(jobs)
+        ]
+        with context.Pool(processes=jobs) as pool:
+            reports = pool.map(_check_shard_from_file, work)
+    return ViolationReport.merge(reports)

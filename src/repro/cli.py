@@ -13,8 +13,13 @@ Commands
 ``dpst MODULE:FUNC``
     Execute a program and print its dynamic program structure tree.
 ``record MODULE:FUNC -o FILE`` / ``replay FILE``
-    Serialize an execution trace to JSON / replay a saved trace through a
+    Serialize an execution trace (monolithic JSON or streaming JSONL,
+    picked by extension or ``--format``) / replay a saved trace through a
     checker.
+``check-trace FILE --jobs N``
+    The offline pipeline: check a recorded trace file through the unified
+    :class:`~repro.session.CheckSession` API, optionally sharded by
+    location across N worker processes.
 ``table1`` / ``fig13`` / ``fig14`` / ``ablation``
     The evaluation harnesses (thin wrappers over :mod:`repro.bench`).
 """
@@ -77,6 +82,14 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         "--dpst-layout", choices=("array", "linked"), default="array",
         help="DPST representation (default: array)",
     )
+    _add_engine_option(parser)
+
+
+def _add_engine_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine", choices=("lca", "labels"), default="lca",
+        help="parallelism-query engine (default: lca)",
+    )
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -87,6 +100,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         executor=_make_executor(args.executor, args.seed, args.workers),
         observers=[checker],
         dpst_layout=args.dpst_layout,
+        parallel_engine=args.engine,
         collect_stats=True,
     )
     print(result.report().describe())
@@ -143,6 +157,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
         executor=_make_executor(args.executor, args.seed, args.workers),
         observers=[checker],
         dpst_layout=args.dpst_layout,
+        parallel_engine=args.engine,
         collect_stats=True,
     )
     stats = result.stats
@@ -171,9 +186,10 @@ def cmd_record(args: argparse.Namespace) -> int:
     result = run_program(
         TaskProgram(body),
         executor=_make_executor(args.executor, args.seed, args.workers),
+        parallel_engine=args.engine,
         record_trace=True,
     )
-    dump_trace(result.trace, args.output)
+    dump_trace(result.trace, args.output, format=args.format)
     print(
         f"recorded {len(result.trace)} events "
         f"({len(result.trace.memory_events())} memory) to {args.output}"
@@ -188,6 +204,18 @@ def cmd_replay(args: argparse.Namespace) -> int:
     trace = load_trace(args.trace)
     checker = make_checker(args.checker)
     report = replay_trace(trace, checker)
+    print(report.describe())
+    return 1 if report else 0
+
+
+def cmd_check_trace(args: argparse.Namespace) -> int:
+    from repro.session import CheckSession
+
+    jobs = None if args.jobs == 0 else args.jobs
+    session = CheckSession(
+        args.trace, checker=args.checker, jobs=jobs, engine=args.engine
+    )
+    report = session.check()
     print(report.describe())
     return 1 if report else 0
 
@@ -312,9 +340,13 @@ def build_parser() -> argparse.ArgumentParser:
     dpst.add_argument("program", help="import path, e.g. mypkg.mymod:main")
     dpst.set_defaults(handler=cmd_dpst)
 
-    record = commands.add_parser("record", help="record a trace to JSON")
+    record = commands.add_parser("record", help="record a trace to a file")
     record.add_argument("program")
     record.add_argument("-o", "--output", required=True)
+    record.add_argument(
+        "--format", choices=("auto", "json", "jsonl"), default="auto",
+        help="serialization format; auto picks JSONL for .jsonl/.ndjson paths",
+    )
     _add_run_options(record)
     record.set_defaults(handler=cmd_record)
 
@@ -322,6 +354,23 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("trace")
     replay.add_argument("--checker", choices=CHECKER_NAMES, default="optimized")
     replay.set_defaults(handler=cmd_replay)
+
+    check_trace = commands.add_parser(
+        "check-trace",
+        help="check a recorded trace file, optionally sharded over N processes",
+    )
+    check_trace.add_argument("trace", help="trace file (JSON or JSONL)")
+    check_trace.add_argument(
+        "--checker", choices=CHECKER_NAMES, default="optimized",
+        help="analysis to run (default: optimized)",
+    )
+    check_trace.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for location-sharded checking "
+        "(default: 1 = in-process; 0 = one per CPU)",
+    )
+    _add_engine_option(check_trace)
+    check_trace.set_defaults(handler=cmd_check_trace)
 
     compare = commands.add_parser(
         "compare", help="run every analysis on one program side by side"

@@ -178,6 +178,23 @@ class ViolationReport:
         for cycle in other._cycles:
             self.add_cycle(cycle)
 
+    @classmethod
+    def merge(cls, reports: Iterable["ViolationReport"]) -> "ViolationReport":
+        """Merge *reports* into a fresh deduplicated report.
+
+        The workhorse of the sharded pipeline: per-shard reports are
+        disjoint by location, so merging is pure concatenation, but the
+        deduplication keys still guard against overlapping inputs.
+        ``raw_count`` is accumulated so chattiness statistics survive the
+        merge.
+        """
+        merged = cls()
+        for report in reports:
+            raw_before = merged.raw_count
+            merged.extend(report)
+            merged.raw_count = raw_before + report.raw_count
+        return merged
+
     # -- queries ----------------------------------------------------------
 
     @property
@@ -236,8 +253,8 @@ class ViolationReport:
 
 
 def merge_reports(reports: Iterable[ViolationReport]) -> ViolationReport:
-    """Merge many reports into a fresh deduplicated one."""
-    merged = ViolationReport()
-    for report in reports:
-        merged.extend(report)
-    return merged
+    """Merge many reports into a fresh deduplicated one.
+
+    Functional alias of :meth:`ViolationReport.merge`.
+    """
+    return ViolationReport.merge(reports)

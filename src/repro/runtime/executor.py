@@ -74,6 +74,7 @@ class RunContext:
         shadow: ShadowMemory,
         locks: LockTable,
         annotations: Any,
+        parallel_engine: str = "lca",
     ) -> None:
         self.dpst = dpst
         self.lca_engine = lca_engine
@@ -82,6 +83,9 @@ class RunContext:
         #: The program's atomicity annotations
         #: (:class:`repro.checker.annotations.AtomicAnnotations`).
         self.annotations = annotations
+        #: Which parallelism-query engine answers ``lca_engine`` queries:
+        #: ``"lca"`` (tree walks) or ``"labels"`` (offset-span labels).
+        self.parallel_engine = parallel_engine
         #: Wall-clock run time in seconds, filled in by the driver.
         self.elapsed: float = 0.0
         #: Map task id -> :class:`Task`, for post-run inspection.
@@ -149,7 +153,12 @@ class Runtime:
         self.shadow = shadow if shadow is not None else ShadowMemory()
         self.locks = LockTable()
         self.run_context = RunContext(
-            self.dpst, self.lca_engine, self.shadow, self.locks, annotations
+            self.dpst,
+            self.lca_engine,
+            self.shadow,
+            self.locks,
+            annotations,
+            parallel_engine=parallel_engine,
         )
         self._lock = threading.RLock()
         self._next_task_id = 0

@@ -41,6 +41,15 @@ class RuntimeObserver:
     #: Set to ``True`` when the observer needs the DPST / LCA engine.
     requires_dpst = False
 
+    #: Set to ``True`` when the observer's verdict depends only on the
+    #: per-location event subsequences (plus the DPST), never on the
+    #: relative order of events touching *different* locations.  Such
+    #: observers can be replayed shard-by-shard by the offline pipeline
+    #: (:mod:`repro.checker.sharded`).  Trace-order-sensitive analyses
+    #: (Velodrome's cross-location happens-before graph) must leave this
+    #: ``False``.
+    location_sharded = False
+
     def on_run_begin(self, run: "RunContext") -> None:
         """Called once before the root task starts."""
 

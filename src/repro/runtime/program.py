@@ -120,14 +120,32 @@ class RunResult:
                 merged.extend(found)
         return merged
 
-    def reports_by_checker(self) -> Dict[str, ViolationReport]:
-        """Per-checker reports, keyed by the checker's ``checker_name``."""
+    @property
+    def reports(self) -> Dict[str, ViolationReport]:
+        """Per-checker reports, keyed by the checker's ``checker_name``.
+
+        The one sanctioned way to get at a specific checker's findings --
+        no reaching into observer internals::
+
+            result = run_program(program, checkers=["optimized", "basic"])
+            result.reports["optimized"].locations()
+        """
         out: Dict[str, ViolationReport] = {}
         for observer in self.observers:
             found = getattr(observer, "report", None)
             if isinstance(found, ViolationReport):
                 out[getattr(observer, "checker_name", type(observer).__name__)] = found
         return out
+
+    def reports_by_checker(self) -> Dict[str, ViolationReport]:
+        """Alias of :attr:`reports` (kept for existing callers)."""
+        return self.reports
+
+    def first_violation(self):
+        """The first violation any attached checker found, or ``None``."""
+        for found in self.report():
+            return found
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
@@ -140,6 +158,7 @@ def run_program(
     program: Union[TaskProgram, TaskBody],
     executor: Optional[Executor] = None,
     observers: Sequence[RuntimeObserver] = (),
+    checkers: Sequence[Any] = (),
     dpst_layout: str = "array",
     build_dpst: Optional[bool] = None,
     lca_cache: bool = True,
@@ -157,6 +176,12 @@ def run_program(
         Scheduling strategy; defaults to the Cilk-style serial elision.
     observers:
         Analyses to attach (checkers etc.).
+    checkers:
+        Additional analyses given as :func:`repro.checker.make_checker`
+        specs -- registered names, checker classes, or instances -- so
+        callers need not construct observers by hand::
+
+            run_program(program, checkers=["optimized", BasicAtomicityChecker])
     dpst_layout:
         ``"array"`` (paper's optimized layout) or ``"linked"``.
     build_dpst:
@@ -177,6 +202,10 @@ def run_program(
     if executor is None:
         executor = SerialExecutor()
     attached: List[RuntimeObserver] = list(observers)
+    if checkers:
+        from repro.checker import make_checker
+
+        attached.extend(make_checker(spec) for spec in checkers)
     recorder: Optional[TraceRecorder] = None
     stats: Optional[StatsObserver] = None
     if record_trace:
@@ -203,15 +232,20 @@ def run_program(
 
 def check_program(
     program: Union[TaskProgram, TaskBody],
-    checker: str = "optimized",
+    checker: Any = "optimized",
     executor: Optional[Executor] = None,
     dpst_layout: str = "array",
     **checker_kwargs: Any,
 ) -> ViolationReport:
-    """One-call convenience: run *program* under a named checker.
+    """One-call convenience: run *program* under one checker.
 
-    ``checker`` is ``"basic"``, ``"optimized"`` or ``"velodrome"``.
-    Returns the checker's :class:`~repro.report.ViolationReport`.
+    ``checker`` is any :func:`repro.checker.make_checker` spec -- a
+    registered name such as ``"optimized"``, a checker class, or a
+    pre-built instance.  Returns the checker's
+    :class:`~repro.report.ViolationReport`.
+
+    For offline sources (recorded traces, trace files) and sharded
+    checking, see :class:`repro.session.CheckSession`.
     """
     from repro.checker import make_checker
 

@@ -1,0 +1,273 @@
+"""The unified checking front door: :class:`CheckSession`.
+
+One entry point for every way of checking something:
+
+* a live :class:`~repro.runtime.program.TaskProgram` (or a bare body
+  function) -- executed once with trace recording, then checked;
+* an in-memory recorded :class:`~repro.trace.trace.Trace`;
+* a trace *file path* (either serialization format; the streaming JSONL
+  format is checked without ever materializing the events).
+
+and every way of running a checker over it: any :func:`make_checker`
+spec (name, class, or instance), in-process (``jobs=1``) or through the
+location-sharded multiprocessing pipeline (``jobs>1``, see
+:mod:`repro.checker.sharded`).
+
+::
+
+    from repro import CheckSession
+
+    report = CheckSession("run.jsonl", jobs=4).check()
+    report = CheckSession(program, checker="basic").check()
+
+    session = CheckSession(trace)
+    session.check("optimized")
+    session.check("racedetector")
+    session.reports          # {"optimized": ..., "racedetector": ...}
+    session.first_violation  # first finding across every check so far
+
+:func:`check_trace` is the one-call convenience wrapper, mirroring
+:func:`repro.runtime.program.check_program` for offline sources.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional, Union
+
+from repro.checker import checker_name_of, make_checker
+from repro.checker.annotations import AtomicAnnotations
+from repro.checker.sharded import CheckerSpec, check_sharded
+from repro.errors import TraceError
+from repro.report import ViolationReport
+from repro.runtime.program import TaskProgram, run_program
+from repro.trace.replay import replay_memory_events
+from repro.trace.serialize import TraceReader, open_trace
+from repro.trace.trace import Trace
+
+Source = Union[TaskProgram, Trace, TraceReader, str, "os.PathLike[str]"]
+
+
+class CheckSession:
+    """A checking session over one program, trace, or trace file.
+
+    Parameters
+    ----------
+    source:
+        What to check.  A :class:`TaskProgram` (or bare callable body) is
+        executed once -- lazily, on first use -- with trace recording
+        under *executor*; a :class:`Trace` / :class:`TraceReader` / path
+        is checked offline as-is.
+    checker:
+        Default checker spec for :meth:`check` -- a registered name, a
+        checker class, or a pre-built instance.
+    jobs:
+        Default worker count for :meth:`check`.  ``1`` (default) checks
+        in-process; ``N > 1`` runs the location-sharded pipeline;
+        ``None`` uses one worker per CPU.
+    engine:
+        Parallelism-query engine, ``"lca"`` or ``"labels"``.
+    executor:
+        Scheduling strategy when *source* is a program.
+    annotations:
+        Atomicity annotations.  Defaults to the program's own annotations
+        for program sources, check-everything otherwise.
+    lca_cache:
+        Enable the LCA memo table during replay.
+    """
+
+    def __init__(
+        self,
+        source: Source,
+        checker: CheckerSpec = "optimized",
+        jobs: Optional[int] = 1,
+        engine: str = "lca",
+        executor: Any = None,
+        annotations: Optional[AtomicAnnotations] = None,
+        lca_cache: bool = True,
+    ) -> None:
+        self.checker = checker
+        self.jobs = jobs
+        self.engine = engine
+        self.executor = executor
+        self.lca_cache = lca_cache
+        #: Reports of every :meth:`check` call, keyed by checker name.
+        self.reports: Dict[str, ViolationReport] = {}
+
+        self._program: Optional[TaskProgram] = None
+        self._trace: Optional[Trace] = None
+        self._reader: Optional[TraceReader] = None
+        self._run_result = None
+
+        if isinstance(source, TaskProgram):
+            self._program = source
+        elif callable(source):
+            self._program = TaskProgram(source)
+        elif isinstance(source, Trace):
+            self._trace = source
+        elif isinstance(source, TraceReader):
+            self._reader = source
+        elif isinstance(source, (str, os.PathLike)):
+            self._reader = open_trace(source)
+        else:
+            raise TraceError(
+                f"cannot check {type(source).__name__}: expected a "
+                "TaskProgram, a body callable, a Trace, a TraceReader, "
+                "or a trace file path"
+            )
+        if annotations is not None:
+            self.annotations = annotations
+        elif self._program is not None:
+            self.annotations = self._program.annotations
+        else:
+            self.annotations = None
+
+    # -- source access ----------------------------------------------------
+
+    @property
+    def source_kind(self) -> str:
+        """``"program"``, ``"trace"``, or ``"file"``."""
+        if self._program is not None:
+            return "program"
+        if self._reader is not None:
+            return "file"
+        return "trace"
+
+    @property
+    def run_result(self):
+        """The :class:`RunResult` of a program source (run on demand)."""
+        if self._program is None:
+            return None
+        if self._run_result is None:
+            self._run_result = run_program(
+                self._program,
+                executor=self.executor,
+                record_trace=True,
+                parallel_engine=self.engine,
+                lca_cache=self.lca_cache,
+            )
+        return self._run_result
+
+    @property
+    def trace(self) -> Trace:
+        """The trace under check, materialized in memory on first access."""
+        if self._trace is None:
+            if self._program is not None:
+                self._trace = self.run_result.trace
+            else:
+                self._trace = self._reader.read()
+        return self._trace
+
+    @property
+    def dpst(self):
+        """The DPST of the execution under check."""
+        if self._trace is not None:
+            return self._trace.dpst
+        if self._reader is not None:
+            return self._reader.dpst
+        return self.trace.dpst
+
+    # -- checking ----------------------------------------------------------
+
+    def check(
+        self,
+        checker: Optional[CheckerSpec] = None,
+        jobs: Optional[int] = None,
+        **checker_kwargs: Any,
+    ) -> ViolationReport:
+        """Run one checker over the source; return (and remember) its report.
+
+        *checker* / *jobs* default to the session's settings;
+        ``checker_kwargs`` are forwarded to checker construction (names
+        and classes only).  Repeated calls reuse the recorded trace, so a
+        program source executes exactly once per session.
+        """
+        spec = self.checker if checker is None else checker
+        if checker_kwargs:
+            spec = make_checker(spec, **checker_kwargs)
+        jobs = self.jobs if jobs is None else jobs
+
+        if jobs == 1:
+            report = self._check_in_process(spec)
+        else:
+            report = check_sharded(
+                self._sharded_source(),
+                checker=spec,
+                jobs=jobs,
+                annotations=self.annotations,
+                lca_cache=self.lca_cache,
+                parallel_engine=self.engine,
+            )
+        self.reports[checker_name_of(spec)] = report
+        return report
+
+    def check_all(self, *checkers: CheckerSpec) -> Dict[str, ViolationReport]:
+        """Run several checkers (session defaults apply); return the mapping."""
+        for spec in checkers:
+            self.check(spec)
+        return dict(self.reports)
+
+    def _sharded_source(self):
+        """The cheapest source shape to hand to the sharded driver."""
+        if self._trace is not None:
+            return self._trace
+        if self._reader is not None:
+            return self._reader
+        return self.trace  # program: record, then shard the trace
+
+    def _check_in_process(self, spec: CheckerSpec) -> ViolationReport:
+        """jobs=1: stream file sources, replay in-memory ones."""
+        analysis = make_checker(spec)
+        if self._trace is None and self._reader is not None:
+            # File source: never materialize the event list.
+            return replay_memory_events(
+                self._reader.memory_events(),
+                analysis,
+                dpst=self._reader.dpst,
+                annotations=self.annotations,
+                lca_cache=self.lca_cache,
+                parallel_engine=self.engine,
+            )
+        return replay_memory_events(
+            self.trace.memory_events(),
+            analysis,
+            dpst=self.trace.dpst,
+            annotations=self.annotations,
+            lca_cache=self.lca_cache,
+            parallel_engine=self.engine,
+        )
+
+    # -- aggregate views ---------------------------------------------------
+
+    def report(self) -> ViolationReport:
+        """Merged report across every :meth:`check` so far (checks the
+        session default on first use)."""
+        if not self.reports:
+            self.check()
+        return ViolationReport.merge(self.reports.values())
+
+    @property
+    def first_violation(self):
+        """The first violation found so far, or ``None``."""
+        for found in self.report():
+            return found
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<CheckSession {self.source_kind} checker="
+            f"{checker_name_of(self.checker)!r} jobs={self.jobs} "
+            f"checked={sorted(self.reports)}>"
+        )
+
+
+def check_trace(
+    source: Source,
+    checker: CheckerSpec = "optimized",
+    jobs: Optional[int] = 1,
+    **session_options: Any,
+) -> ViolationReport:
+    """One-call convenience: check any source through a fresh session."""
+    return CheckSession(
+        source, checker=checker, jobs=jobs, **session_options
+    ).check()

@@ -23,7 +23,14 @@ from repro.trace.explore import (
     analytic_violation_locations,
     explore_violation_locations,
 )
-from repro.trace.serialize import dump_trace, load_trace
+from repro.trace.serialize import (
+    TraceReader,
+    TraceWriter,
+    dump_trace,
+    dump_trace_jsonl,
+    load_trace,
+    open_trace,
+)
 from repro.trace.visualize import (
     render_step_table,
     render_timeline,
@@ -39,8 +46,12 @@ __all__ = [
     "InterleavingExplorer",
     "analytic_violation_locations",
     "explore_violation_locations",
+    "TraceReader",
+    "TraceWriter",
     "dump_trace",
+    "dump_trace_jsonl",
     "load_trace",
+    "open_trace",
     "render_step_table",
     "render_timeline",
     "render_violation_context",

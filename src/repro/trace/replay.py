@@ -29,36 +29,53 @@ def _make_context(
     dpst: Optional[DPSTBase],
     annotations: Optional[AtomicAnnotations],
     lca_cache: bool = True,
+    parallel_engine: str = "lca",
 ) -> RunContext:
-    engine = LCAEngine(dpst, cache=lca_cache) if dpst is not None else None
+    if dpst is None:
+        engine = None
+    elif parallel_engine == "lca":
+        engine = LCAEngine(dpst, cache=lca_cache)
+    elif parallel_engine == "labels":
+        from repro.dpst.labels import LabelEngine
+
+        engine = LabelEngine(dpst, cache=lca_cache)
+    else:
+        raise TraceError(
+            f"unknown parallel_engine {parallel_engine!r} "
+            "(expected 'lca' or 'labels')"
+        )
     return RunContext(
         dpst=dpst,
         lca_engine=engine,
         shadow=ShadowMemory(),
         locks=LockTable(),
         annotations=annotations or AtomicAnnotations(),
+        parallel_engine=parallel_engine,
     )
 
 
 def replay_memory_events(
-    events: Sequence[MemoryEvent],
+    events: Iterable[MemoryEvent],
     checker: RuntimeObserver,
     dpst: Optional[DPSTBase] = None,
     annotations: Optional[AtomicAnnotations] = None,
     lca_cache: bool = True,
+    parallel_engine: str = "lca",
 ) -> ViolationReport:
     """Feed *events* (in the given order) to *checker*; return its report.
 
     *dpst* is required for checkers that issue parallelism queries (the
     basic and optimized checkers); Velodrome replays happily without one
-    because the events already carry their step ids.
+    because the events already carry their step ids.  *events* may be any
+    iterable, including a streaming generator over a trace file that never
+    materializes the full event list.
     """
     needs_tree = getattr(checker, "requires_lca", checker.requires_dpst)
     if needs_tree and dpst is None:
         raise TraceError(
             f"{type(checker).__name__} needs the producing DPST to replay"
         )
-    context = _make_context(dpst, annotations, lca_cache)
+    context = _make_context(dpst, annotations, lca_cache, parallel_engine)
     checker.on_run_begin(context)
     for event in events:
         checker.on_memory(event)
@@ -74,6 +91,7 @@ def replay_trace(
     checker: RuntimeObserver,
     annotations: Optional[AtomicAnnotations] = None,
     lca_cache: bool = True,
+    parallel_engine: str = "lca",
 ) -> ViolationReport:
     """Replay a full :class:`Trace` through *checker*.
 
@@ -86,4 +104,5 @@ def replay_trace(
         dpst=trace.dpst,
         annotations=annotations,
         lca_cache=lca_cache,
+        parallel_engine=parallel_engine,
     )

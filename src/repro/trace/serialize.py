@@ -6,6 +6,22 @@ archive as regression goldens.  This module round-trips a
 :class:`~repro.trace.trace.Trace` *including its DPST* through plain
 JSON-compatible dictionaries.
 
+Two on-disk formats are supported:
+
+* **v1 (monolithic JSON)** -- one JSON object holding every event, written
+  by :func:`dump_trace` with ``format="json"``.  Simple, but the whole
+  trace must fit in memory to read or write it.
+* **v2 (streaming JSONL)** -- the offline pipeline's format: a one-line
+  header ``{"format": "repro-trace", "version": 2, "dpst": ...}`` followed
+  by one event per line.  :class:`TraceWriter` appends events with bounded
+  buffering and :class:`TraceReader` yields them as a generator, so traces
+  larger than RAM can be produced and checked.  The DPST lives in the
+  header because every checker needs the *complete* tree before the first
+  event is replayed.
+
+:func:`load_trace` / :func:`open_trace` sniff the format, so callers never
+care which variant a file uses.
+
 Location encoding: locations are hashable Python values (strings, ints,
 or tuples thereof).  JSON has no tuples, so locations are wrapped as
 ``{"t": [...]}`` for tuples and ``{"v": scalar}`` otherwise, recursively —
@@ -14,8 +30,12 @@ lossless for the location vocabulary the runtime produces.
 
 from __future__ import annotations
 
+import io
 import json
-from typing import Any, Dict, Hashable, List, Optional
+import os
+import re
+import zlib
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional
 
 from repro.dpst import ArrayDPST, NodeKind, ROOT_ID
 from repro.dpst.base import DPSTBase
@@ -54,6 +74,18 @@ def encode_location(location: Location) -> Dict[str, Any]:
     if location is None or isinstance(location, (str, int, float, bool)):
         return {"v": location}
     raise TraceError(f"unserializable location {location!r}")
+
+
+def location_shard_key(location: Location) -> int:
+    """Process-stable integer key of *location* for shard partitioning.
+
+    CRC-32 of the location's ``repr`` rather than builtin ``hash``: string
+    hashing is randomized per process (PYTHONHASHSEED), and the sharded
+    driver's worker processes must all agree on the partition.  The v2
+    writer stamps this key on every memory-event line (``"sk"``) so readers
+    can route a line to its shard without decoding the JSON.
+    """
+    return zlib.crc32(repr(location).encode("utf-8"))
 
 
 def decode_location(encoded: Dict[str, Any]) -> Location:
@@ -108,7 +140,7 @@ def event_from_dict(row: Dict[str, Any]) -> object:
     cls = _EVENT_TYPES.get(kind)
     if cls is None:
         raise TraceError(f"unknown event type {kind!r}")
-    kwargs = {k: v for k, v in row.items() if k != "type"}
+    kwargs = {k: v for k, v in row.items() if k not in ("type", "sk")}
     if "location" in kwargs:
         kwargs["location"] = decode_location(kwargs["location"])
     if "lockset" in kwargs:
@@ -134,13 +166,258 @@ def trace_from_dict(data: Dict[str, Any]) -> Trace:
     return Trace(events, dpst=dpst)
 
 
-def dump_trace(trace: Trace, path: str) -> None:
-    """Write a trace to *path* as JSON."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(trace_to_dict(trace), handle)
+# ---------------------------------------------------------------------------
+# v2: streaming JSONL
+# ---------------------------------------------------------------------------
+
+JSONL_FORMAT = "repro-trace"
+JSONL_VERSION = 2
+
+#: Events buffered between writes / sniff window for format detection.
+DEFAULT_CHUNK_SIZE = 4096
+
+#: Shard-key stamp at the tail of a v2 memory-event line (bytes: the
+#: sharded readers scan raw lines in binary mode).
+_SK_TAIL = re.compile(rb'"sk": (\d+)\}\s*$')
+
+
+class TraceWriter:
+    """Streaming JSONL trace writer (v2 format).
+
+    Writes the header line at construction, then appends one JSON line per
+    event.  Lines are buffered and flushed every ``chunk_size`` events, so
+    the writer holds O(chunk_size) events regardless of trace length.
+    Usable as a context manager::
+
+        with TraceWriter("run.jsonl", dpst=trace.dpst) as writer:
+            for event in events:
+                writer.write(event)
+
+    The DPST must be supplied up front (it sits in the header so readers
+    can rebuild the tree before streaming any event); pass ``None`` for
+    DPST-free traces.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        dpst: Optional[DPSTBase] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        if chunk_size < 1:
+            raise TraceError(f"chunk_size must be positive, got {chunk_size}")
+        self.path = os.fspath(path)
+        self.chunk_size = chunk_size
+        #: Number of events written so far.
+        self.count = 0
+        self._buffer: List[str] = []
+        self._handle: Optional[io.TextIOWrapper] = open(
+            self.path, "w", encoding="utf-8"
+        )
+        header = {
+            "format": JSONL_FORMAT,
+            "version": JSONL_VERSION,
+            "dpst": None if dpst is None else dpst_to_dict(dpst),
+        }
+        self._handle.write(json.dumps(header) + "\n")
+
+    def write(self, event: object) -> None:
+        """Append one event."""
+        if self._handle is None:
+            raise TraceError(f"TraceWriter for {self.path!r} is closed")
+        row = event_to_dict(event)
+        if isinstance(event, MemoryEvent):
+            # Stamped last so readers can shard-filter the raw line tail
+            # without decoding the JSON (see TraceReader.memory_events).
+            row["sk"] = location_shard_key(event.location)
+        self._buffer.append(json.dumps(row))
+        self.count += 1
+        if len(self._buffer) >= self.chunk_size:
+            self._flush()
+
+    def write_all(self, events: Iterable[object]) -> None:
+        """Append every event of *events* (any iterable)."""
+        for event in events:
+            self.write(event)
+
+    def _flush(self) -> None:
+        if self._buffer:
+            self._handle.write("\n".join(self._buffer) + "\n")
+            self._buffer = []
+
+    def close(self) -> None:
+        """Flush buffered events and close the file (idempotent)."""
+        if self._handle is not None:
+            self._flush()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class TraceReader:
+    """Streaming reader over a serialized trace file (v1 or v2).
+
+    Construction parses only the header (v2) or the whole file (v1 has no
+    incremental structure); :meth:`events` then yields decoded events as a
+    generator.  Each call to :meth:`events` opens a fresh handle, so a
+    reader supports any number of passes -- exactly what the sharded
+    pipeline's workers need when each filters out its own shard.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = os.fspath(path)
+        self._v1_trace: Optional[Trace] = None
+        if is_jsonl_trace(self.path):
+            with open(self.path, "r", encoding="utf-8") as handle:
+                header = json.loads(handle.readline())
+            version = header.get("version")
+            if header.get("format") != JSONL_FORMAT or version != JSONL_VERSION:
+                raise TraceError(
+                    f"unsupported trace header in {self.path!r}: {header!r}"
+                )
+            self.version = version
+            raw_dpst = header.get("dpst")
+            self.dpst: Optional[DPSTBase] = (
+                None if raw_dpst is None else dpst_from_dict(raw_dpst)
+            )
+        else:
+            # v1 fallback: monolithic JSON, decoded eagerly.
+            with open(self.path, "r", encoding="utf-8") as handle:
+                self._v1_trace = trace_from_dict(json.load(handle))
+            self.version = 1
+            self.dpst = self._v1_trace.dpst
+
+    # -- streaming views ---------------------------------------------------
+
+    def events(self) -> Iterator[object]:
+        """Yield every event in file order (a fresh pass per call)."""
+        if self._v1_trace is not None:
+            yield from self._v1_trace.events
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            handle.readline()  # header
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield event_from_dict(json.loads(line))
+
+    def __iter__(self) -> Iterator[object]:
+        return self.events()
+
+    def memory_events(
+        self, shard: Optional[int] = None, jobs: Optional[int] = None
+    ) -> Iterator[MemoryEvent]:
+        """Yield just the memory accesses, in file order.
+
+        With ``shard``/``jobs``, yield only events whose location falls in
+        that shard (``location_shard_key(location) % jobs == shard``).  On
+        v2 files the filter reads the ``"sk"`` stamp off each raw line's
+        tail, so foreign-shard lines are skipped *without* JSON decoding --
+        this is what lets N streaming workers split the parse cost of one
+        file instead of each paying it in full.  Lines without a stamp
+        (v1 files, externally produced v2 files) fall back to decode-then-
+        filter, so the result is identical either way.
+        """
+        if shard is None or jobs is None or jobs <= 1:
+            for event in self.events():
+                if isinstance(event, MemoryEvent):
+                    yield event
+            return
+        if self._v1_trace is not None:
+            for event in self._v1_trace.events:
+                if (
+                    isinstance(event, MemoryEvent)
+                    and location_shard_key(event.location) % jobs == shard
+                ):
+                    yield event
+            return
+        # Binary mode: foreign-shard lines are dropped after a bounded
+        # bytes scan, without UTF-8 decoding or JSON parsing them.
+        with open(self.path, "rb") as handle:
+            handle.readline()  # header
+            for line in handle:
+                # The stamp sits in the last ~20 bytes; bound the scan.
+                match = _SK_TAIL.search(line, max(0, len(line) - 32))
+                if match is not None:
+                    if int(match.group(1)) % jobs != shard:
+                        continue
+                    yield event_from_dict(json.loads(line))
+                else:
+                    if not line.strip():
+                        continue
+                    event = event_from_dict(json.loads(line))
+                    if (
+                        isinstance(event, MemoryEvent)
+                        and location_shard_key(event.location) % jobs == shard
+                    ):
+                        yield event
+
+    def read(self) -> Trace:
+        """Materialize the full :class:`Trace` (events + DPST) in memory."""
+        if self._v1_trace is not None:
+            return self._v1_trace
+        return Trace(list(self.events()), dpst=self.dpst)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<TraceReader {self.path!r} v{self.version}>"
+
+
+def is_jsonl_trace(path: str) -> bool:
+    """Does *path* hold a v2 JSONL trace (vs. a v1 monolithic JSON one)?
+
+    Sniffs the first bytes for the v2 header signature, so detection works
+    regardless of file extension and never reads a multi-GB v1 file just
+    to decide.
+    """
+    with open(path, "rb") as handle:
+        head = handle.read(64)
+    return head.lstrip().startswith(b'{"format": "%s"' % JSONL_FORMAT.encode())
+
+
+def open_trace(path: str) -> TraceReader:
+    """Open *path* (either format) as a streaming :class:`TraceReader`."""
+    return TraceReader(path)
+
+
+def dump_trace_jsonl(
+    trace: Trace, path: str, chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> None:
+    """Write *trace* to *path* in the streaming v2 JSONL format."""
+    with TraceWriter(path, dpst=trace.dpst, chunk_size=chunk_size) as writer:
+        writer.write_all(trace.events)
+
+
+# ---------------------------------------------------------------------------
+# Front doors
+# ---------------------------------------------------------------------------
+
+
+def dump_trace(trace: Trace, path: str, format: str = "auto") -> None:
+    """Write a trace to *path*.
+
+    ``format="auto"`` (default) picks v2 JSONL for ``.jsonl`` / ``.ndjson``
+    paths and the legacy v1 monolithic JSON otherwise; ``"jsonl"`` and
+    ``"json"`` force a variant.
+    """
+    if format == "auto":
+        suffix = os.path.splitext(os.fspath(path))[1].lower()
+        format = "jsonl" if suffix in (".jsonl", ".ndjson") else "json"
+    if format == "jsonl":
+        dump_trace_jsonl(trace, path)
+    elif format == "json":
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(trace_to_dict(trace), handle)
+    else:
+        raise TraceError(
+            f"unknown trace format {format!r} (expected 'auto', 'json' or 'jsonl')"
+        )
 
 
 def load_trace(path: str) -> Trace:
-    """Read a trace previously written by :func:`dump_trace`."""
-    with open(path, "r", encoding="utf-8") as handle:
-        return trace_from_dict(json.load(handle))
+    """Read a trace previously written by :func:`dump_trace` (either format)."""
+    return TraceReader(path).read()

@@ -136,6 +136,66 @@ class TestRecordReplay:
         code = main(["replay", trace_file, "--checker", "velodrome"])
         assert code == 0  # serial trace: no cycle
 
+    def test_record_jsonl_by_extension(self, target_module, tmp_path, capsys):
+        from repro.trace.serialize import is_jsonl_trace
+
+        trace_file = str(tmp_path / "t.jsonl")
+        assert main(["record", f"{target_module}:buggy", "-o", trace_file]) == 0
+        assert is_jsonl_trace(trace_file)
+
+    def test_record_format_flag(self, target_module, tmp_path, capsys):
+        from repro.trace.serialize import is_jsonl_trace
+
+        trace_file = str(tmp_path / "t.dat")
+        code = main(
+            ["record", f"{target_module}:buggy", "-o", trace_file,
+             "--format", "jsonl"]
+        )
+        assert code == 0
+        assert is_jsonl_trace(trace_file)
+
+
+class TestCheckTrace:
+    @pytest.fixture
+    def trace_file(self, target_module, tmp_path, capsys):
+        path = str(tmp_path / "t.jsonl")
+        main(["record", f"{target_module}:buggy", "-o", path])
+        capsys.readouterr()
+        return path
+
+    def test_in_process(self, trace_file, capsys):
+        code = main(["check-trace", trace_file])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "Atomicity violation" in out and "'X'" in out
+
+    def test_sharded(self, trace_file, capsys):
+        code = main(["check-trace", trace_file, "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "Atomicity violation" in out
+
+    def test_jobs_zero_means_per_cpu(self, trace_file, capsys):
+        assert main(["check-trace", trace_file, "--jobs", "0"]) == 1
+
+    def test_engine_option(self, trace_file, capsys):
+        assert main(["check-trace", trace_file, "--engine", "labels"]) == 1
+
+    def test_clean_trace_exit_0(self, target_module, tmp_path, capsys):
+        path = str(tmp_path / "clean.jsonl")
+        main(["record", f"{target_module}:clean", "-o", path])
+        capsys.readouterr()
+        code = main(["check-trace", path, "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no violations" in out
+
+    def test_v1_json_trace_accepted(self, target_module, tmp_path, capsys):
+        path = str(tmp_path / "t.json")
+        main(["record", f"{target_module}:buggy", "-o", path])
+        capsys.readouterr()
+        assert main(["check-trace", path, "--jobs", "2"]) == 1
+
 
 class TestCoverage:
     def test_clean_coverage_exit_0(self, target_module, capsys):

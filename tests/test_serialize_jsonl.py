@@ -1,0 +1,214 @@
+"""The streaming JSONL (v2) trace format: writer, reader, sniffing."""
+
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.runtime import TaskProgram, run_program
+from repro.runtime.events import MemoryEvent
+from repro.trace.serialize import (
+    TraceReader,
+    TraceWriter,
+    dump_trace,
+    dump_trace_jsonl,
+    is_jsonl_trace,
+    load_trace,
+    open_trace,
+)
+
+
+def recorded_run():
+    def child(ctx, i):
+        with ctx.lock("L"):
+            ctx.add(("cell", i % 2), 1)
+
+    def main(ctx):
+        for i in range(3):
+            ctx.spawn(child, i)
+        ctx.sync()
+
+    return run_program(
+        TaskProgram(main, initial_memory={("cell", 0): 0, ("cell", 1): 0}),
+        record_trace=True,
+    )
+
+
+@pytest.fixture
+def trace():
+    return recorded_run().trace
+
+
+class TestRoundTrip:
+    def test_events_and_dpst_survive(self, trace, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        dump_trace_jsonl(trace, path)
+        loaded = load_trace(path)
+        assert [type(e).__name__ for e in loaded.events] == [
+            type(e).__name__ for e in trace.events
+        ]
+        assert [e.seq for e in loaded.events] == [e.seq for e in trace.events]
+        assert len(loaded.dpst) == len(trace.dpst)
+        loaded.validate()
+
+    def test_one_event_per_line(self, trace, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        dump_trace_jsonl(trace, path)
+        lines = [l for l in open(path).read().splitlines() if l]
+        assert len(lines) == 1 + len(trace.events)  # header + events
+        header = json.loads(lines[0])
+        assert header["format"] == "repro-trace" and header["version"] == 2
+
+    def test_small_chunk_size_flushes_correctly(self, trace, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        dump_trace_jsonl(trace, path, chunk_size=2)
+        assert len(load_trace(path)) == len(trace)
+
+
+class TestTraceWriter:
+    def test_incremental_writes_and_count(self, trace, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with TraceWriter(path, dpst=trace.dpst, chunk_size=3) as writer:
+            for event in trace.events:
+                writer.write(event)
+            assert writer.count == len(trace.events)
+        assert len(load_trace(path)) == len(trace)
+
+    def test_closed_writer_rejects_events(self, trace, tmp_path):
+        writer = TraceWriter(str(tmp_path / "t.jsonl"))
+        writer.close()
+        writer.close()  # idempotent
+        with pytest.raises(TraceError):
+            writer.write(trace.events[0])
+
+    def test_bad_chunk_size(self, tmp_path):
+        with pytest.raises(TraceError):
+            TraceWriter(str(tmp_path / "t.jsonl"), chunk_size=0)
+
+    def test_dpst_free_trace(self, trace, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with TraceWriter(path) as writer:
+            writer.write_all(trace.events)
+        reader = open_trace(path)
+        assert reader.dpst is None
+        assert len(list(reader.events())) == len(trace.events)
+
+
+class TestTraceReader:
+    def test_streaming_memory_events(self, trace, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        dump_trace_jsonl(trace, path)
+        reader = open_trace(path)
+        streamed = list(reader.memory_events())
+        assert all(isinstance(e, MemoryEvent) for e in streamed)
+        assert [e.seq for e in streamed] == [
+            e.seq for e in trace.memory_events()
+        ]
+
+    def test_multiple_passes(self, trace, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        dump_trace_jsonl(trace, path)
+        reader = open_trace(path)
+        first = [e.seq for e in reader.events()]
+        second = [e.seq for e in reader.events()]
+        assert first == second
+
+    def test_reads_v1_files_too(self, trace, tmp_path):
+        path = str(tmp_path / "t.json")
+        dump_trace(trace, path, format="json")
+        reader = open_trace(path)
+        assert reader.version == 1
+        assert len(reader.read()) == len(trace)
+        assert len(list(reader.memory_events())) == len(trace.memory_events())
+
+    def test_malformed_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "repro-trace", "version": 99}\n')
+        with pytest.raises(TraceError):
+            open_trace(str(path))
+
+
+class TestShardFiltering:
+    def shards(self, reader, jobs):
+        return [
+            [e.seq for e in reader.memory_events(shard=s, jobs=jobs)]
+            for s in range(jobs)
+        ]
+
+    def test_memory_lines_carry_shard_stamp(self, trace, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        dump_trace_jsonl(trace, path)
+        for line in open(path).read().splitlines()[1:]:
+            row = json.loads(line)
+            assert ("sk" in row) == (row["type"] == "MemoryEvent")
+
+    def test_shards_partition_the_memory_events(self, trace, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        dump_trace_jsonl(trace, path)
+        reader = open_trace(path)
+        shards = self.shards(reader, 3)
+        merged = sorted(seq for shard in shards for seq in shard)
+        assert merged == [e.seq for e in trace.memory_events()]
+
+    def test_stampless_v2_falls_back_to_decoding(self, trace, tmp_path):
+        # A v2 file produced without "sk" stamps (e.g. by an external
+        # tool) must shard identically, just slower.
+        stamped = tmp_path / "stamped.jsonl"
+        dump_trace_jsonl(trace, str(stamped))
+        stripped = tmp_path / "plain.jsonl"
+        lines = stamped.read_text().splitlines()
+        rows = [json.loads(l) for l in lines[1:]]
+        for row in rows:
+            row.pop("sk", None)
+        stripped.write_text(
+            "\n".join([lines[0]] + [json.dumps(r) for r in rows]) + "\n"
+        )
+        assert self.shards(open_trace(str(stripped)), 4) == self.shards(
+            open_trace(str(stamped)), 4
+        )
+
+    def test_v1_files_shard_too(self, trace, tmp_path):
+        v1 = str(tmp_path / "t.json")
+        v2 = str(tmp_path / "t.jsonl")
+        dump_trace(trace, v1, format="json")
+        dump_trace(trace, v2, format="jsonl")
+        assert self.shards(open_trace(v1), 4) == self.shards(open_trace(v2), 4)
+
+    def test_decoded_events_do_not_leak_the_stamp(self, trace, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        dump_trace_jsonl(trace, path)
+        for event in open_trace(path).memory_events():
+            assert not hasattr(event, "sk")
+
+
+class TestFormatSelection:
+    def test_sniffing(self, trace, tmp_path):
+        v1 = str(tmp_path / "t.json")
+        v2 = str(tmp_path / "t.jsonl")
+        dump_trace(trace, v1)
+        dump_trace(trace, v2)
+        assert not is_jsonl_trace(v1)
+        assert is_jsonl_trace(v2)
+
+    def test_extension_does_not_fool_the_sniffer(self, trace, tmp_path):
+        # A v2 trace under a .json name still loads as v2 and vice versa.
+        path = str(tmp_path / "mislabeled.json")
+        dump_trace(trace, path, format="jsonl")
+        assert is_jsonl_trace(path)
+        assert TraceReader(path).version == 2
+        assert len(load_trace(path)) == len(trace)
+
+    def test_explicit_format_override(self, trace, tmp_path):
+        path = str(tmp_path / "t.dat")
+        dump_trace(trace, path, format="jsonl")
+        assert is_jsonl_trace(path)
+
+    def test_unknown_format_rejected(self, trace, tmp_path):
+        with pytest.raises(TraceError):
+            dump_trace(trace, str(tmp_path / "t.x"), format="yaml")
+
+    def test_load_trace_handles_both(self, trace, tmp_path):
+        for name, format in (("a.json", "json"), ("b.jsonl", "jsonl")):
+            path = str(tmp_path / name)
+            dump_trace(trace, path, format=format)
+            assert len(load_trace(path)) == len(trace)

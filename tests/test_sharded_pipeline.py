@@ -1,0 +1,214 @@
+"""The sharded offline pipeline is report-identical to in-process checking.
+
+The load-bearing guarantee of :mod:`repro.checker.sharded`: partitioning a
+recorded trace by location hash and replaying each shard in isolation must
+produce *exactly* the violation set of an unsharded run -- across the full
+36-program suite and a seeded fuzz corpus, for ``jobs=1`` and ``jobs=4``,
+and regardless of whether the shards replay from memory or stream from a
+JSONL trace file.
+"""
+
+import pytest
+
+from repro.checker import OptAtomicityChecker, make_checker
+from repro.checker.sharded import (
+    check_sharded,
+    partition_memory_events,
+    shard_for_location,
+)
+from repro.errors import CheckerError, TraceError
+from repro.report import ViolationReport
+from repro.runtime import TaskProgram, run_program
+from repro.suite import all_cases
+from repro.trace import GeneratorConfig, TraceGenerator
+from repro.trace.serialize import dump_trace_jsonl
+
+CASES = all_cases()
+
+
+def violation_keys(report):
+    """The canonical identity of a report: every finding's dedup key."""
+    return {v.key for v in report}
+
+
+def record(program):
+    """One instrumented run: live in-process report + the recorded trace."""
+    result = run_program(
+        program, observers=[OptAtomicityChecker()], record_trace=True
+    )
+    return result.report(), result.trace
+
+
+class TestShardFunction:
+    def test_deterministic_and_in_range(self):
+        for jobs in (1, 2, 4, 7):
+            for location in ("X", ("g", 3), 42, None, ("deep", ("t", 1))):
+                shard = shard_for_location(location, jobs)
+                assert 0 <= shard < jobs
+                assert shard == shard_for_location(location, jobs)
+
+    def test_partition_preserves_order_and_events(self):
+        trace = TraceGenerator(GeneratorConfig(tasks=6, locations=4, seed=3)).generate_trace()
+        shards = partition_memory_events(trace.events, 4)
+        flattened = [e for shard in shards for e in shard]
+        assert sorted(e.seq for e in flattened) == [
+            e.seq for e in trace.memory_events()
+        ]
+        for shard in shards:
+            assert [e.seq for e in shard] == sorted(e.seq for e in shard)
+            locations = {e.location for e in shard}
+            for other in shards:
+                if other is not shard:
+                    assert locations.isdisjoint({e.location for e in other})
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+class TestSuiteEquivalence:
+    """jobs=1 and jobs=4 reproduce the in-process verdict on all 36 programs."""
+
+    def test_sharded_matches_in_process(self, case):
+        program = case.build()
+        live_report, trace = record(program)
+        assert set(live_report.locations()) == set(case.expected)
+        for jobs in (1, 4):
+            sharded = check_sharded(
+                trace,
+                checker="optimized",
+                jobs=jobs,
+                annotations=program.annotations,
+            )
+            assert violation_keys(sharded) == violation_keys(live_report), (
+                f"{case.name}: jobs={jobs} diverged"
+            )
+
+
+FUZZ_CONFIGS = [
+    GeneratorConfig(tasks=6, accesses_per_task=5, locations=3, seed=seed)
+    for seed in range(4)
+] + [
+    GeneratorConfig(
+        tasks=8,
+        accesses_per_task=6,
+        locations=5,
+        locks=2,
+        max_depth=3,
+        seed=seed,
+    )
+    for seed in (11, 12)
+]
+
+
+@pytest.mark.parametrize(
+    "config", FUZZ_CONFIGS, ids=lambda c: f"seed{c.seed}-locks{c.locks}"
+)
+class TestFuzzEquivalence:
+    """Seeded generator corpus: same verdict sharded and unsharded."""
+
+    def test_in_memory_sharding(self, config):
+        program = TraceGenerator(config).generate_program()
+        live_report, trace = record(program)
+        for jobs in (1, 4):
+            sharded = check_sharded(trace, checker="optimized", jobs=jobs)
+            assert violation_keys(sharded) == violation_keys(live_report)
+
+    def test_file_streamed_sharding(self, config, tmp_path):
+        program = TraceGenerator(config).generate_program()
+        live_report, trace = record(program)
+        path = str(tmp_path / "trace.jsonl")
+        dump_trace_jsonl(trace, path)
+        for jobs in (1, 4):
+            sharded = check_sharded(path, checker="optimized", jobs=jobs)
+            assert violation_keys(sharded) == violation_keys(live_report)
+
+
+class TestMultivarGroups:
+    """Grouped locations share a metadata cell and must share a shard."""
+
+    def multivar_program(self):
+        from repro.checker.annotations import AtomicAnnotations
+
+        def reader(ctx):
+            ctx.read("checking")
+            ctx.read("savings")
+
+        def mover(ctx):
+            ctx.write("checking", 0)
+            ctx.write("savings", 100)
+
+        def main(ctx):
+            ctx.spawn(reader)
+            ctx.spawn(mover)
+            ctx.sync()
+
+        annotations = AtomicAnnotations().annotate_group(
+            "account", ["checking", "savings"]
+        )
+        return TaskProgram(
+            main,
+            initial_memory={"checking": 100, "savings": 0},
+            annotations=annotations,
+        )
+
+    def test_group_members_stay_together(self):
+        program = self.multivar_program()
+        live_report, trace = record(program)
+        assert live_report  # the cross-variable violation exists
+        for jobs in (2, 3, 4, 5):
+            sharded = check_sharded(
+                trace, jobs=jobs, annotations=program.annotations
+            )
+            assert violation_keys(sharded) == violation_keys(live_report), jobs
+
+    def test_grouped_partition_lands_in_one_shard(self):
+        program = self.multivar_program()
+        _, trace = record(program)
+        shards = partition_memory_events(trace.events, 4, program.annotations)
+        populated = [shard for shard in shards if shard]
+        assert len(populated) == 1  # both members hash via the group key
+
+
+class TestDriverContract:
+    def test_trace_order_sensitive_checker_refused(self):
+        trace = TraceGenerator(GeneratorConfig(seed=5)).generate_trace()
+        with pytest.raises(CheckerError):
+            check_sharded(trace, checker="velodrome", jobs=2)
+
+    def test_velodrome_allowed_in_process(self):
+        trace = TraceGenerator(GeneratorConfig(seed=5)).generate_trace()
+        report = check_sharded(trace, checker="velodrome", jobs=1)
+        assert isinstance(report, ViolationReport)
+
+    def test_checker_instance_and_class_specs(self):
+        _, trace = record(
+            TraceGenerator(GeneratorConfig(tasks=5, seed=7)).generate_program()
+        )
+        by_name = check_sharded(trace, checker="optimized", jobs=2)
+        by_class = check_sharded(trace, checker=OptAtomicityChecker, jobs=2)
+        by_instance = check_sharded(
+            trace, checker=OptAtomicityChecker(mode="thorough"), jobs=2
+        )
+        assert violation_keys(by_class) == violation_keys(by_name)
+        assert violation_keys(by_instance) >= violation_keys(by_name)
+
+    def test_bad_jobs_rejected(self):
+        trace = TraceGenerator(GeneratorConfig(seed=1)).generate_trace()
+        with pytest.raises(TraceError):
+            check_sharded(trace, jobs=0)
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(TraceError):
+            check_sharded(12345, jobs=1)
+
+    def test_merge_classmethod_dedupes_and_sums_raw_count(self):
+        _, trace = record(
+            TraceGenerator(GeneratorConfig(tasks=5, seed=9)).generate_program()
+        )
+        report = check_sharded(trace, jobs=1)
+        merged = ViolationReport.merge([report, report])
+        assert violation_keys(merged) == violation_keys(report)
+        assert merged.raw_count == 2 * report.raw_count
+
+    def test_default_jobs_is_cpu_count(self):
+        from repro.checker.sharded import default_jobs
+
+        assert default_jobs() >= 1
