@@ -99,12 +99,25 @@ def test_sharded_throughput(benchmark, trace_file, jobs):
 
 
 def main(argv=None) -> int:
+    import argparse
+    import json
     import tempfile
 
-    argv = list(sys.argv[1:] if argv is None else argv)
-    events = int(argv[0]) if argv else 100_000
-    jobs_list = [int(j) for j in argv[1:]] or [1, 2, 4]
+    parser = argparse.ArgumentParser(
+        description="sharded-pipeline throughput benchmark"
+    )
+    parser.add_argument("events", nargs="?", type=int, default=100_000)
+    parser.add_argument("jobs", nargs="*", type=int, default=[1, 2, 4])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: 10k events regardless of the positional",
+    )
+    parser.add_argument("--json", metavar="OUT.json", default=None)
+    args = parser.parse_args(argv)
+    events = 10_000 if args.quick else args.events
+    jobs_list = args.jobs or [1, 2, 4]
 
+    rows = []
     with tempfile.TemporaryDirectory() as tmp:
         path = os.path.join(tmp, "bench.jsonl")
         print(f"generating {events} memory events ...", flush=True)
@@ -118,10 +131,32 @@ def main(argv=None) -> int:
             report = check_sharded(path, jobs=jobs)
             elapsed = time.perf_counter() - started
             base = elapsed if base is None else base
+            rows.append(
+                {
+                    "jobs": jobs,
+                    "seconds": elapsed,
+                    "events_per_s": events / elapsed,
+                    "speedup": base / elapsed,
+                    "violations": len(report),
+                }
+            )
             print(
                 f"{jobs:>5} {elapsed:>9.2f} {events / elapsed:>10.0f} "
                 f"{base / elapsed:>7.2f}x   ({len(report)} violation(s))"
             )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "benchmark": "sharded_pipeline",
+                    "events": events,
+                    "cpus": os.cpu_count(),
+                    "runs": rows,
+                },
+                handle,
+                indent=2,
+            )
+        print(f"json written to {args.json}")
     return 0
 
 

@@ -12,7 +12,7 @@ legal schedule one task's write lands between the other's read and write
 Run: ``python examples/quickstart.py``
 """
 
-from repro import TaskProgram, run_program
+from repro import CheckSession, TaskProgram
 
 
 def increment(ctx):
@@ -32,18 +32,22 @@ def main(ctx):
 if __name__ == "__main__":
     program = TaskProgram(main, name="quickstart")
 
-    # One run, both analyses; per-checker findings come back on the
-    # ``result.reports`` mapping (checker name -> ViolationReport).
-    result = run_program(program, checkers=["optimized", "velodrome"])
-    print(f"final counter value in this schedule: {result.value}")
+    # The unified front door: the program executes once (lazily, with
+    # trace recording) and every check() replays that same trace, so
+    # both analyses see the identical execution.
+    session = CheckSession(program)
+    session.check("optimized")
+    session.check("velodrome")
+
+    print(f"final counter value in this schedule: {session.run_result.value}")
     print()
     print("optimized checker (all schedules for this input):")
-    print(result.reports["optimized"].describe())
+    print(session.reports["optimized"].describe())
     print()
     print("velodrome (this trace only):")
-    print(result.reports["velodrome"].describe())
+    print(session.reports["velodrome"].describe())
     print()
-    first = result.first_violation()
+    first = session.first_violation
     print(f"first violation: pattern {first.pattern} on {first.location!r}")
     print()
     print(

@@ -7,7 +7,7 @@ Quickstart
 ----------
 ::
 
-    from repro import TaskProgram, check_program
+    from repro import CheckSession, TaskProgram
 
     def child(ctx):
         value = ctx.read("X")          # two accesses to X in one step:
@@ -19,8 +19,16 @@ Quickstart
         ctx.spawn(child)
         ctx.sync()
 
-    report = check_program(TaskProgram(main))
+    session = CheckSession(TaskProgram(main))
+    report = session.check()           # default: the optimized checker
     print(report.describe())           # -> unserializable RWR/RWW triples
+
+:class:`~repro.session.CheckSession` is the front door for every source
+(live programs, recorded traces, trace files) and every checking mode
+(in-process or location-sharded across processes); pass
+``recorder=MetricsRecorder()`` to collect :mod:`repro.obs` metrics and
+phase timings.  The older :func:`~repro.runtime.program.check_program`
+one-shot is deprecated.
 
 The package layers:
 
@@ -37,7 +45,9 @@ The package layers:
 * :mod:`repro.suite` -- the 36-program violation test suite;
 * :mod:`repro.workloads` -- task-parallel kernels of the paper's 13
   benchmarks;
-* :mod:`repro.bench` -- harnesses regenerating Table 1 and Figures 13/14.
+* :mod:`repro.bench` -- harnesses regenerating Table 1 and Figures 13/14;
+* :mod:`repro.obs` -- the observability layer: counters, gauges,
+  histograms and phase spans behind one :class:`~repro.obs.Recorder`.
 """
 
 from repro.report import (
@@ -90,6 +100,14 @@ from repro.runtime import (
 from repro.runtime.program import check_program
 from repro.checker.sharded import check_sharded
 from repro.session import CheckSession, check_trace
+from repro.dpst import EngineStats
+from repro.obs import (
+    METRIC_NAMES,
+    NULL_RECORDER,
+    MetricsRecorder,
+    MetricsSnapshot,
+    Recorder,
+)
 
 __version__ = "1.1.0"
 
@@ -135,5 +153,11 @@ __all__ = [
     "check_sharded",
     "CheckSession",
     "check_trace",
+    "EngineStats",
+    "METRIC_NAMES",
+    "MetricsRecorder",
+    "MetricsSnapshot",
+    "NULL_RECORDER",
+    "Recorder",
     "__version__",
 ]

@@ -15,6 +15,7 @@ per configuration, averaged.
 
 from __future__ import annotations
 
+import gc
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -85,10 +86,20 @@ def measure(
     run_once(spec.build(actual_scale), config, dpst_layout=dpst_layout, lca_cache=lca_cache)
     timings: List[float] = []
     last: Optional[RunResult] = None
-    for _ in range(max(1, repeats)):
-        program = spec.build(actual_scale)
-        last = run_once(program, config, dpst_layout=dpst_layout, lca_cache=lca_cache)
-        timings.append(last.elapsed)
+    # Timed region runs with the cyclic GC off (timeit's approach): a
+    # collection pause landing inside one sub-millisecond run otherwise
+    # dominates the per-config ratio, especially at repeats=1.
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(max(1, repeats)):
+            program = spec.build(actual_scale)
+            last = run_once(program, config, dpst_layout=dpst_layout, lca_cache=lca_cache)
+            timings.append(last.elapsed)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     assert last is not None
     result = Measurement(
         workload=spec.name,

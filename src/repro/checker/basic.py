@@ -72,6 +72,8 @@ class BasicAtomicityChecker(RuntimeObserver):
         self._history: Dict[Location, _History] = {}
         self._engine = None
         self._annotations: Optional[AtomicAnnotations] = None
+        #: Accesses analyzed (observability counter; see repro.obs).
+        self._accesses = 0
 
     # -- observer wiring ----------------------------------------------------
 
@@ -90,6 +92,7 @@ class BasicAtomicityChecker(RuntimeObserver):
             if not annotations.is_checked(event.location):
                 return
             key = annotations.metadata_key(event.location)
+        self._accesses += 1
         raw_lockset = event.lockset
         entry = AccessEntry(
             event.step,
@@ -181,3 +184,19 @@ class BasicAtomicityChecker(RuntimeObserver):
         checker's 12+2 fixed entries replace (ablation ABL-META).
         """
         return sum(len(history.entries) for history in self._history.values())
+
+    def metrics(self) -> Dict[str, int]:
+        """Canonical ``repro.obs`` counters; shard-summable (see the
+        optimized checker's ``metrics`` for the invariant)."""
+        peak = max(
+            (len(history.entries) for history in self._history.values()),
+            default=0,
+        )
+        return {
+            "checker.accesses_checked": self._accesses,
+            "checker.basic.history_entries": self.total_history_entries(),
+            "checker.basic.history_peak": peak,
+            "checker.basic.tracked_locations": len(self._history),
+            "report.violations": len(self.report),
+            "report.raw_findings": self.report.raw_count,
+        }

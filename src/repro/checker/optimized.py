@@ -74,6 +74,13 @@ class OptAtomicityChecker(RuntimeObserver):
         self._engine = None
         self._annotations: Optional[AtomicAnnotations] = None
         self._annotations_trivial = True
+        # Observability counters (plain ints on the hot path; surfaced
+        # via metrics() and flushed by the pipeline -- see repro.obs).
+        self._accesses = 0
+        self._promotions = 0
+        self._promotions_blocked = 0
+        self._memo_hits = 0
+        self._pattern_checks = 0
 
     # -- observer wiring ----------------------------------------------------
 
@@ -92,6 +99,7 @@ class OptAtomicityChecker(RuntimeObserver):
             if not annotations.is_checked(event.location):
                 return
             key = annotations.metadata_key(event.location)
+        self._accesses += 1
         raw_lockset = event.lockset
         entry = AccessEntry(
             event.step,
@@ -168,67 +176,83 @@ class OptAtomicityChecker(RuntimeObserver):
         """
         parallel = self._engine.parallel
         if entry.is_read:
-            if (
-                cell.read is not None
-                and cell.ver_rr != space.version
-                and cell.read.locks_disjoint(entry)
-            ):
-                candidate = TwoAccessPattern(cell.read, entry)  # read-read
-                self._check_candidate_against_singles(
-                    key, space, candidate, writes=True, reads=False
-                )
-                space.update_pattern("RR", candidate, parallel, self.thorough)
-                cell.ver_rr = space.version
-            if (
-                cell.write is not None
-                and cell.ver_wr != space.version
-                and cell.write.locks_disjoint(entry)
-            ):
-                candidate = TwoAccessPattern(cell.write, entry)  # write-read
-                self._check_candidate_against_singles(
-                    key, space, candidate, writes=True, reads=False
-                )
-                space.update_pattern("WR", candidate, parallel, self.thorough)
-                cell.ver_wr = space.version
+            if cell.read is not None:
+                if cell.ver_rr == space.version:
+                    self._memo_hits += 1
+                elif cell.read.locks_disjoint(entry):
+                    candidate = TwoAccessPattern(cell.read, entry)  # read-read
+                    self._check_candidate_against_singles(
+                        key, space, candidate, writes=True, reads=False
+                    )
+                    self._note_promotion(
+                        space.update_pattern("RR", candidate, parallel, self.thorough)
+                    )
+                    cell.ver_rr = space.version
+            if cell.write is not None:
+                if cell.ver_wr == space.version:
+                    self._memo_hits += 1
+                elif cell.write.locks_disjoint(entry):
+                    candidate = TwoAccessPattern(cell.write, entry)  # write-read
+                    self._check_candidate_against_singles(
+                        key, space, candidate, writes=True, reads=False
+                    )
+                    self._note_promotion(
+                        space.update_pattern("WR", candidate, parallel, self.thorough)
+                    )
+                    cell.ver_wr = space.version
             if cell.ver_sr != space.version:
                 space.update_single("R", entry, parallel)
                 cell.ver_sr = space.version
+            else:
+                self._memo_hits += 1
             if cell.read is None:
                 cell.read = entry
             if self.thorough:
                 self._check_patterns_against(key, space, ("WW",), entry)
         else:
-            if (
-                cell.read is not None
-                and cell.ver_rw != space.version
-                and cell.read.locks_disjoint(entry)
-            ):
-                candidate = TwoAccessPattern(cell.read, entry)  # read-write
-                self._check_candidate_against_singles(
-                    key, space, candidate, writes=True, reads=False
-                )
-                space.update_pattern("RW", candidate, parallel, self.thorough)
-                cell.ver_rw = space.version
-            if (
-                cell.write is not None
-                and cell.ver_ww != space.version
-                and cell.write.locks_disjoint(entry)
-            ):
-                candidate = TwoAccessPattern(cell.write, entry)  # write-write
-                self._check_candidate_against_singles(
-                    key, space, candidate, writes=True, reads=True
-                )
-                space.update_pattern("WW", candidate, parallel, self.thorough)
-                cell.ver_ww = space.version
+            if cell.read is not None:
+                if cell.ver_rw == space.version:
+                    self._memo_hits += 1
+                elif cell.read.locks_disjoint(entry):
+                    candidate = TwoAccessPattern(cell.read, entry)  # read-write
+                    self._check_candidate_against_singles(
+                        key, space, candidate, writes=True, reads=False
+                    )
+                    self._note_promotion(
+                        space.update_pattern("RW", candidate, parallel, self.thorough)
+                    )
+                    cell.ver_rw = space.version
+            if cell.write is not None:
+                if cell.ver_ww == space.version:
+                    self._memo_hits += 1
+                elif cell.write.locks_disjoint(entry):
+                    candidate = TwoAccessPattern(cell.write, entry)  # write-write
+                    self._check_candidate_against_singles(
+                        key, space, candidate, writes=True, reads=True
+                    )
+                    self._note_promotion(
+                        space.update_pattern("WW", candidate, parallel, self.thorough)
+                    )
+                    cell.ver_ww = space.version
             if cell.ver_sw != space.version:
                 space.update_single("W", entry, parallel)
                 cell.ver_sw = space.version
+            else:
+                self._memo_hits += 1
             if cell.write is None:
                 cell.write = entry
             if self.thorough:
                 self._check_patterns_against(
                     key, space, ("WW", "RW", "RR", "WR"), entry
                 )
+
+    def _note_promotion(self, stored: bool) -> None:
+        """Account one candidate's fate: promoted to the global space or
+        dropped because a parallel occupant already covers its kind."""
+        if stored:
+            self._promotions += 1
+        else:
+            self._promotions_blocked += 1
 
     # -- triple checks ----------------------------------------------------------------
 
@@ -239,6 +263,7 @@ class OptAtomicityChecker(RuntimeObserver):
         parallel = self._engine.parallel
         for kind in kinds:
             for pattern in space.patterns(kind):
+                self._pattern_checks += 1
                 if pattern.step == interleaver.step:
                     continue
                 if not parallel(pattern.step, interleaver.step):
@@ -315,3 +340,27 @@ class OptAtomicityChecker(RuntimeObserver):
     def tracked_locations(self) -> int:
         """Number of locations with a global space."""
         return len(self._gs)
+
+    # -- observability (repro.obs metric registry) ---------------------------------
+
+    def metrics(self) -> Dict[str, int]:
+        """Accumulated counters under the canonical ``repro.obs`` names.
+
+        Every value is a per-location (or per-finding) total, so summing
+        the mapping across location-disjoint shards reproduces the
+        in-process numbers exactly -- the invariant
+        ``tests/test_metrics_sharded.py`` pins across the 36-program
+        suite.
+        """
+        return {
+            "checker.accesses_checked": self._accesses,
+            "checker.optimized.promotions": self._promotions,
+            "checker.optimized.promotions_blocked": self._promotions_blocked,
+            "checker.optimized.memo_hits": self._memo_hits,
+            "checker.optimized.pattern_checks": self._pattern_checks,
+            "checker.optimized.global_entries": self.total_global_entries(),
+            "checker.optimized.local_entries": self.total_local_entries(),
+            "checker.optimized.tracked_locations": self.tracked_locations(),
+            "report.violations": len(self.report),
+            "report.raw_findings": self.report.raw_count,
+        }

@@ -99,6 +99,8 @@ class RaceDetector(RuntimeObserver):
         self._engine = None
         self._annotations: Optional[AtomicAnnotations] = None
         self._annotations_trivial = True
+        #: Accesses analyzed (observability counter; see repro.obs).
+        self._accesses = 0
 
     # -- observer wiring ----------------------------------------------------
 
@@ -117,6 +119,7 @@ class RaceDetector(RuntimeObserver):
             if not annotations.is_checked(event.location):
                 return
             key = annotations.metadata_key(event.location)
+        self._accesses += 1
         raw_lockset = event.lockset
         entry = AccessEntry(
             event.step,
@@ -196,3 +199,13 @@ class RaceDetector(RuntimeObserver):
         lines = [f"{len(self.races)} data race(s):"]
         lines += [race.describe() for race in self.races]
         return "\n".join(lines)
+
+    def metrics(self) -> Dict[str, int]:
+        """Canonical ``repro.obs`` counters; shard-summable because races
+        are detected and deduplicated per location."""
+        return {
+            "checker.accesses_checked": self._accesses,
+            "checker.racedetector.races": len(self.races),
+            "report.violations": len(self.report),
+            "report.raw_findings": self.report.raw_count,
+        }

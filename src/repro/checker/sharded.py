@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import Any, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.checker import checker_name_of, make_checker
@@ -120,25 +121,71 @@ def _fresh_checker(spec: CheckerSpec):
 # -- worker bodies (top level so multiprocessing can pickle them) -----------
 
 
+def _worker_recorder(collect: bool):
+    """A per-shard :class:`~repro.obs.MetricsRecorder`, or ``None``.
+
+    Workers never share a recorder with the parent -- each shard records
+    into a private snapshot that travels back as a plain dict and is
+    merged by :meth:`repro.obs.MetricsRecorder.add_shard`.
+    """
+    if not collect:
+        return None
+    from repro.obs import MetricsRecorder
+
+    return MetricsRecorder()
+
+
+def _worker_snapshot(recorder, elapsed: float):
+    """Finalize a worker recorder into its wire-format snapshot dict."""
+    if recorder is None:
+        return None
+    recorder.gauge("worker.elapsed_s", elapsed)
+    recorder.gauge("worker.pid", float(os.getpid()))
+    return recorder.snapshot().to_dict()
+
+
 def _check_shard_events(
     args: Tuple[Any, ...]
-) -> ViolationReport:
+) -> Tuple[ViolationReport, Optional[dict]]:
     """Replay one pre-partitioned shard of in-memory events."""
-    dpst_dict, events, spec, annotations, lca_cache, parallel_engine = args
+    (
+        dpst_dict,
+        events,
+        spec,
+        annotations,
+        lca_cache,
+        parallel_engine,
+        collect,
+    ) = args
     dpst = None if dpst_dict is None else dpst_from_dict(dpst_dict)
-    return replay_memory_events(
+    recorder = _worker_recorder(collect)
+    started = time.perf_counter()
+    report = replay_memory_events(
         events,
         _fresh_checker(spec),
         dpst=dpst,
         annotations=annotations,
         lca_cache=lca_cache,
         parallel_engine=parallel_engine,
+        recorder=recorder,
     )
+    return report, _worker_snapshot(recorder, time.perf_counter() - started)
 
 
-def _check_shard_from_file(args: Tuple[Any, ...]) -> ViolationReport:
+def _check_shard_from_file(
+    args: Tuple[Any, ...]
+) -> Tuple[ViolationReport, Optional[dict]]:
     """Stream a trace file and replay only this worker's shard."""
-    path, shard, jobs, spec, annotations, lca_cache, parallel_engine = args
+    (
+        path,
+        shard,
+        jobs,
+        spec,
+        annotations,
+        lca_cache,
+        parallel_engine,
+        collect,
+    ) = args
     reader = open_trace(path)
     keyed = annotations is not None and not annotations.trivial
 
@@ -157,14 +204,18 @@ def _check_shard_from_file(args: Tuple[Any, ...]) -> ViolationReport:
         # stamp, so this worker only JSON-decodes its own 1/jobs slice.
         events = reader.memory_events(shard=shard, jobs=jobs)
 
-    return replay_memory_events(
+    recorder = _worker_recorder(collect)
+    started = time.perf_counter()
+    report = replay_memory_events(
         events,
         _fresh_checker(spec),
         dpst=reader.dpst,
         annotations=annotations,
         lca_cache=lca_cache,
         parallel_engine=parallel_engine,
+        recorder=recorder,
     )
+    return report, _worker_snapshot(recorder, time.perf_counter() - started)
 
 
 def _pool_context():
@@ -185,6 +236,7 @@ def check_sharded(
     annotations: Optional[AtomicAnnotations] = None,
     lca_cache: bool = True,
     parallel_engine: str = "lca",
+    recorder=None,
 ) -> ViolationReport:
     """Check *source* with ``jobs`` parallel per-location shards.
 
@@ -204,6 +256,13 @@ def check_sharded(
     annotations / lca_cache / parallel_engine:
         Forwarded to replay; annotations also steer the sharding key so
         multi-variable groups stay together.
+    recorder:
+        Optional :class:`repro.obs.Recorder`.  When enabled, each worker
+        collects a private per-shard snapshot (counters, gauges, spans)
+        that the driver folds back in with
+        :meth:`~repro.obs.MetricsRecorder.add_shard`: counters sum into
+        the parent totals while each shard's spans stay listed under the
+        snapshot's ``shards`` array.  Disabled or ``None`` costs nothing.
 
     Returns the merged, deduplicated :class:`ViolationReport`.
     """
@@ -242,27 +301,100 @@ def check_sharded(
             annotations=annotations,
             lca_cache=lca_cache,
             parallel_engine=parallel_engine,
+            recorder=recorder,
         )
 
     _require_shardable(checker)
+    collect = recorder is not None and recorder.enabled
+    if collect:
+        return _check_sharded_recorded(
+            trace, reader, path, checker, jobs, annotations,
+            lca_cache, parallel_engine, recorder,
+        )
     context = _pool_context()
     if trace is not None:
         shards = partition_memory_events(trace.events, jobs, annotations)
         dpst_dict = None if trace.dpst is None else dpst_to_dict(trace.dpst)
         work = [
-            (dpst_dict, shard, checker, annotations, lca_cache, parallel_engine)
+            (dpst_dict, shard, checker, annotations, lca_cache, parallel_engine, False)
             for shard in shards
             if shard
         ]
         if not work:
             return ViolationReport()
         with context.Pool(processes=min(jobs, len(work))) as pool:
-            reports = pool.map(_check_shard_events, work)
+            results = pool.map(_check_shard_events, work)
     else:
         work = [
-            (path, shard, jobs, checker, annotations, lca_cache, parallel_engine)
+            (path, shard, jobs, checker, annotations, lca_cache, parallel_engine, False)
             for shard in range(jobs)
         ]
         with context.Pool(processes=jobs) as pool:
-            reports = pool.map(_check_shard_from_file, work)
-    return ViolationReport.merge(reports)
+            results = pool.map(_check_shard_from_file, work)
+    return ViolationReport.merge([report for report, _ in results])
+
+
+def _check_sharded_recorded(
+    trace: Optional[Trace],
+    reader: Optional[TraceReader],
+    path: Optional[str],
+    checker: CheckerSpec,
+    jobs: int,
+    annotations: Optional[AtomicAnnotations],
+    lca_cache: bool,
+    parallel_engine: str,
+    recorder,
+) -> ViolationReport:
+    """The ``jobs > 1`` path with observability on.
+
+    Identical control flow to the plain path, wrapped in the canonical
+    spans (``sharded`` > ``partition`` / ``map`` / ``merge``) and folding
+    per-shard snapshots into *recorder*.  Kept separate so the disabled
+    path carries no span bookkeeping at all.
+    """
+    from repro.obs import SPAN_MAP, SPAN_MERGE, SPAN_PARTITION, SPAN_SHARDED
+
+    context = _pool_context()
+    with recorder.span(SPAN_SHARDED):
+        if trace is not None:
+            with recorder.span(SPAN_PARTITION):
+                shards = partition_memory_events(trace.events, jobs, annotations)
+                dpst_dict = None if trace.dpst is None else dpst_to_dict(trace.dpst)
+                work = [
+                    (dpst_dict, shard, checker, annotations,
+                     lca_cache, parallel_engine, True)
+                    for shard in shards
+                    if shard
+                ]
+                shard_ids = [
+                    index for index, shard in enumerate(shards) if shard
+                ]
+            if not work:
+                recorder.count("sharded.workers", 0)
+                return ViolationReport()
+            with recorder.span(SPAN_MAP):
+                with context.Pool(processes=min(jobs, len(work))) as pool:
+                    results = pool.map(_check_shard_events, work)
+        else:
+            work = [
+                (path, shard, jobs, checker, annotations,
+                 lca_cache, parallel_engine, True)
+                for shard in range(jobs)
+            ]
+            shard_ids = list(range(jobs))
+            with recorder.span(SPAN_MAP):
+                with context.Pool(processes=jobs) as pool:
+                    results = pool.map(_check_shard_from_file, work)
+        with recorder.span(SPAN_MERGE):
+            nonempty = 0
+            for shard_id, (_, snapshot) in zip(shard_ids, results):
+                if snapshot is None:
+                    continue
+                recorder.add_shard(shard_id, snapshot)
+                recorder.count("sharded.heartbeats")
+                if snapshot.get("counters", {}).get("trace.events.routed"):
+                    nonempty += 1
+            recorder.count("sharded.workers", len(results))
+            recorder.count("sharded.shards_nonempty", nonempty)
+            merged = ViolationReport.merge([report for report, _ in results])
+    return merged

@@ -68,6 +68,8 @@ class VelodromeChecker(RuntimeObserver):
         #: program-order edges the original algorithm also maintains
         self._last_txn_of_task: Dict[int, int] = {}
         self.edge_count = 0
+        #: Accesses analyzed (observability counter; see repro.obs).
+        self._accesses = 0
 
     # -- observer wiring ----------------------------------------------------
 
@@ -83,6 +85,7 @@ class VelodromeChecker(RuntimeObserver):
             if not annotations.is_checked(event.location):
                 return
             key = annotations.metadata_key(event.location)
+        self._accesses += 1
         txn = event.step
         previous = self._last_txn_of_task.get(event.task)
         if previous is None or previous != txn:
@@ -173,3 +176,17 @@ class VelodromeChecker(RuntimeObserver):
         for successors in self._succ.values():
             nodes.update(successors)
         return len(nodes)
+
+    def metrics(self) -> Dict[str, int]:
+        """Canonical ``repro.obs`` counters.
+
+        Velodrome is trace-order sensitive (``location_sharded`` is
+        ``False``), so these only ever describe a single in-process run.
+        """
+        return {
+            "checker.accesses_checked": self._accesses,
+            "checker.velodrome.edges": self.edge_count,
+            "checker.velodrome.transactions": self.transaction_count(),
+            "report.violations": len(self.report),
+            "report.raw_findings": self.report.raw_count,
+        }

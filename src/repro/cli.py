@@ -20,8 +20,15 @@ Commands
     The offline pipeline: check a recorded trace file through the unified
     :class:`~repro.session.CheckSession` API, optionally sharded by
     location across N worker processes.
+``stats FILE``
+    Summarize a ``--metrics`` JSON snapshot (counters, spans, per-shard
+    timings) or, given a trace file, its basic shape.
 ``table1`` / ``fig13`` / ``fig14`` / ``ablation``
     The evaluation harnesses (thin wrappers over :mod:`repro.bench`).
+
+``check`` and ``check-trace`` accept ``--metrics OUT.json`` to collect
+pipeline observability (see :mod:`repro.obs`) and write the merged
+snapshot; ``repro stats OUT.json`` renders it.
 """
 
 from __future__ import annotations
@@ -92,9 +99,26 @@ def _add_engine_option(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _metrics_recorder(args: argparse.Namespace):
+    """A collecting recorder when ``--metrics PATH`` was given, else None."""
+    if not getattr(args, "metrics", None):
+        return None
+    from repro.obs import MetricsRecorder
+
+    return MetricsRecorder()
+
+
+def _dump_metrics(recorder, args: argparse.Namespace) -> None:
+    if recorder is None:
+        return
+    recorder.snapshot().dump(args.metrics)
+    print(f"metrics written to {args.metrics}")
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     body = _load_callable(args.program)
     checker = make_checker(args.checker)
+    recorder = _metrics_recorder(args)
     result = run_program(
         TaskProgram(body),
         executor=_make_executor(args.executor, args.seed, args.workers),
@@ -102,6 +126,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         dpst_layout=args.dpst_layout,
         parallel_engine=args.engine,
         collect_stats=True,
+        recorder=recorder,
     )
     print(result.report().describe())
     if args.stats and result.stats is not None:
@@ -110,6 +135,7 @@ def cmd_check(args: argparse.Namespace) -> int:
             f"\ntasks={stats.tasks} accesses={stats.memory_events} "
             f"dpst_nodes={stats.dpst_nodes} lca_queries={stats.lca_queries}"
         )
+    _dump_metrics(recorder, args)
     return 1 if result.report() else 0
 
 
@@ -212,12 +238,99 @@ def cmd_check_trace(args: argparse.Namespace) -> int:
     from repro.session import CheckSession
 
     jobs = None if args.jobs == 0 else args.jobs
+    recorder = _metrics_recorder(args)
     session = CheckSession(
-        args.trace, checker=args.checker, jobs=jobs, engine=args.engine
+        args.trace, checker=args.checker, jobs=jobs, engine=args.engine,
+        recorder=recorder,
     )
     report = session.check()
     print(report.describe())
+    _dump_metrics(recorder, args)
     return 1 if report else 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import is_metrics_dict
+
+    # A --metrics snapshot is a small JSON object stamped with the
+    # "repro-metrics/1" schema; anything else is treated as a trace.
+    try:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        data = None
+    if isinstance(data, dict) and is_metrics_dict(data):
+        return _print_metrics_stats(data)
+    return _print_trace_stats(args.file)
+
+
+def _print_metrics_stats(data: dict) -> int:
+    from repro.obs import MetricsSnapshot
+
+    snapshot = MetricsSnapshot.from_dict(data)
+    print(f"metrics snapshot ({data.get('schema')})")
+    if snapshot.counters:
+        print("\ncounters:")
+        for name in sorted(snapshot.counters):
+            print(f"  {name:<42} {snapshot.counters[name]}")
+    if snapshot.gauges:
+        print("\ngauges:")
+        for name in sorted(snapshot.gauges):
+            print(f"  {name:<42} {snapshot.gauges[name]:g}")
+    if snapshot.histograms:
+        print("\nhistograms:")
+        for name in sorted(snapshot.histograms):
+            hist = snapshot.histograms[name]
+            print(
+                f"  {name:<42} n={hist.count} mean={hist.mean():g} "
+                f"min={hist.min:g} max={hist.max:g}"
+            )
+    if snapshot.spans:
+        print("\nspans:")
+        for path in sorted(snapshot.spans):
+            span = snapshot.spans[path]
+            print(
+                f"  {path:<42} n={span.count} total={span.total_s * 1000:.1f}ms"
+            )
+    if snapshot.shards:
+        print(f"\nshards: {len(snapshot.shards)}")
+        for shard in snapshot.shards:
+            counters = shard.get("counters", {})
+            gauges = shard.get("gauges", {})
+            print(
+                f"  shard {shard.get('shard')}: "
+                f"events={counters.get('trace.events.routed', 0)} "
+                f"violations={counters.get('report.violations', 0)} "
+                f"elapsed={gauges.get('worker.elapsed_s', 0.0):.3f}s"
+            )
+    return 0
+
+
+def _print_trace_stats(path: str) -> int:
+    from repro.runtime.events import MemoryEvent
+    from repro.trace.serialize import open_trace
+
+    reader = open_trace(path)
+    events = 0
+    memory = 0
+    tasks = set()
+    locations = set()
+    for event in reader.events():
+        events += 1
+        if isinstance(event, MemoryEvent):
+            memory += 1
+            tasks.add(event.task)
+            locations.add(event.location)
+    dpst = reader.dpst
+    print(f"trace {path}")
+    print(
+        f"events={events} memory_events={memory} tasks={len(tasks)} "
+        f"locations={len(locations)} "
+        f"dpst_nodes={0 if dpst is None else len(dpst)}"
+    )
+    return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -322,6 +435,10 @@ def build_parser() -> argparse.ArgumentParser:
     check = commands.add_parser("check", help="check a task body MODULE:FUNC")
     check.add_argument("program", help="import path, e.g. mypkg.mymod:main")
     check.add_argument("--stats", action="store_true", help="print run statistics")
+    check.add_argument(
+        "--metrics", metavar="OUT.json", default=None,
+        help="collect observability metrics and write the snapshot here",
+    )
     _add_run_options(check)
     check.set_defaults(handler=cmd_check)
 
@@ -369,8 +486,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for location-sharded checking "
         "(default: 1 = in-process; 0 = one per CPU)",
     )
+    check_trace.add_argument(
+        "--metrics", metavar="OUT.json", default=None,
+        help="collect pipeline metrics (merged counters + per-shard spans) "
+        "and write the snapshot here",
+    )
     _add_engine_option(check_trace)
     check_trace.set_defaults(handler=cmd_check_trace)
+
+    stats = commands.add_parser(
+        "stats",
+        help="summarize a --metrics snapshot or a trace file",
+    )
+    stats.add_argument("file", help="metrics JSON or trace file")
+    stats.set_defaults(handler=cmd_stats)
 
     compare = commands.add_parser(
         "compare", help="run every analysis on one program side by side"

@@ -30,11 +30,13 @@ from repro.dpst.nodes import NodeKind, ROOT_ID, NULL_ID
 from repro.dpst.base import DPSTBase
 from repro.dpst.linked import LinkedDPST
 from repro.dpst.array import ArrayDPST
+from repro.dpst.stats import EngineStats
 from repro.dpst.lca import LCAEngine, LCAStats
 from repro.dpst.labels import LabelEngine
 from repro.dpst.relation import lca, parallel, precedes, left_of
 
 __all__ = [
+    "EngineStats",
     "LabelEngine",
     "NodeKind",
     "ROOT_ID",

@@ -31,8 +31,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.dpst.base import DPSTBase
-from repro.dpst.lca import LCAStats
 from repro.dpst.nodes import NodeKind, ROOT_ID
+from repro.dpst.stats import EngineStats
 
 #: One label entry: (sibling rank, is-async flag).
 LabelEntry = Tuple[int, bool]
@@ -75,9 +75,10 @@ class LabelEngine:
     """Drop-in parallelism engine computing verdicts from node labels.
 
     Labels are materialized lazily per node and cached (they are immutable
-    because DPST paths never change).  The ``stats`` counters match
-    :class:`~repro.dpst.lca.LCAEngine` so Table 1 collection works
-    unchanged; ``hops`` counts label entries compared.
+    because DPST paths never change).  The ``stats`` counters are the same
+    :class:`~repro.dpst.stats.EngineStats` every engine carries, so
+    Table 1 collection and the ``engine.*`` metrics work unchanged;
+    ``hops`` counts label entries compared.
     """
 
     #: Interface marker checked by tests; mirrors LCAEngine.
@@ -86,7 +87,7 @@ class LabelEngine:
     def __init__(self, tree: DPSTBase, cache: bool = True) -> None:
         self.tree = tree
         self.cache_enabled = cache
-        self.stats = LCAStats()
+        self.stats = EngineStats()
         self._labels: Dict[int, Label] = {}
         self._seen_pairs: Dict[Tuple[int, int], bool] = {}
 
@@ -136,7 +137,7 @@ class LabelEngine:
         return False  # pragma: no cover - unreachable
 
     def reset_stats(self) -> None:
-        self.stats = LCAStats()
+        self.stats = EngineStats()
 
     # -- internals -----------------------------------------------------------
 

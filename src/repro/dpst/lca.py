@@ -16,46 +16,16 @@ of existing nodes is stable for the rest of the execution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
 from repro.dpst.base import DPSTBase
 from repro.dpst.nodes import NodeKind
 from repro.dpst import relation
+from repro.dpst.stats import EngineStats
 
-
-@dataclass
-class LCAStats:
-    """Counters for Table 1 and the LCA-cache ablation.
-
-    ``queries`` counts every parallelism query issued by a client;
-    ``unique`` counts the distinct unordered node pairs among them (i.e.
-    cache misses when the cache is enabled).
-    """
-
-    queries: int = 0
-    unique: int = 0
-    #: Cumulative number of parent hops performed by uncached tree walks.
-    #: A proxy for the locality cost Figure 14 measures.
-    hops: int = 0
-
-    @property
-    def hits(self) -> int:
-        """Number of queries answered from the cache."""
-        return self.queries - self.unique
-
-    @property
-    def unique_fraction(self) -> float:
-        """Fraction of queries that were unique (Table 1's last column)."""
-        if self.queries == 0:
-            return 0.0
-        return self.unique / self.queries
-
-    def merge(self, other: "LCAStats") -> None:
-        """Accumulate *other* into this stats object."""
-        self.queries += other.queries
-        self.unique += other.unique
-        self.hops += other.hops
+#: Backwards-compatible alias: the counters were unified across engines
+#: as :class:`repro.dpst.stats.EngineStats`.
+LCAStats = EngineStats
 
 
 class LCAEngine:

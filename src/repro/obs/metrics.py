@@ -1,0 +1,252 @@
+"""Metric value types and the mergeable :class:`MetricsSnapshot`.
+
+The observability layer (:mod:`repro.obs`) separates *collection* (the
+:class:`~repro.obs.recorder.Recorder` protocol, called from the checking
+pipeline) from *values* (this module): counters, gauges, histograms and
+aggregated phase spans, all of which can be snapshotted into one plain
+JSON-serializable object and merged across worker processes -- the
+metrics analogue of :meth:`repro.report.ViolationReport.merge`.
+
+Merge semantics mirror what the sharded pipeline needs:
+
+* **counters** sum -- a per-shard event count totals to the run's count;
+* **gauges** keep the maximum -- per-shard footprints (entries, bytes)
+  become the peak, which is what capacity planning wants;
+* **histograms** merge bucket-wise (power-of-two buckets, exact for the
+  count/total/min/max moments);
+* **spans** aggregate per path -- total seconds, call count, min/max.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Version stamp of the on-disk JSON layout (``--metrics out.json``).
+METRICS_SCHEMA = "repro-metrics/1"
+
+
+class Histogram:
+    """Power-of-two bucketed distribution with exact moments.
+
+    A value ``v`` lands in the bucket keyed by its binary exponent
+    (``frexp``), so buckets cover ``[2**(e-1), 2**e)``; zero and negative
+    values share the ``0`` bucket.  Count, sum, min and max are exact;
+    the buckets give shape at fixed memory cost.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        exponent = math.frexp(value)[1] if value > 0 else 0
+        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        for exponent, count in other.buckets.items():
+            self.buckets[exponent] = self.buckets.get(exponent, 0) + count
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {str(exp): n for exp, n in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Histogram":
+        hist = cls()
+        hist.count = int(data.get("count", 0))
+        hist.total = float(data.get("total", 0.0))
+        hist.min = data.get("min")
+        hist.max = data.get("max")
+        hist.buckets = {
+            int(exp): int(n) for exp, n in data.get("buckets", {}).items()
+        }
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Histogram n={self.count} mean={self.mean:.4g}>"
+
+
+@dataclass
+class SpanStats:
+    """Aggregated timings of one span *path* (e.g. ``"check/replay"``)."""
+
+    path: str
+    count: int = 0
+    total_s: float = 0.0
+    min_s: Optional[float] = None
+    max_s: Optional[float] = None
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        if self.min_s is None or seconds < self.min_s:
+            self.min_s = seconds
+        if self.max_s is None or seconds > self.max_s:
+            self.max_s = seconds
+
+    def merge(self, other: "SpanStats") -> None:
+        self.count += other.count
+        self.total_s += other.total_s
+        if other.min_s is not None and (self.min_s is None or other.min_s < self.min_s):
+            self.min_s = other.min_s
+        if other.max_s is not None and (self.max_s is None or other.max_s > self.max_s):
+            self.max_s = other.max_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "count": self.count,
+            "total_s": self.total_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SpanStats":
+        return cls(
+            path=data["path"],
+            count=int(data.get("count", 0)),
+            total_s=float(data.get("total_s", 0.0)),
+            min_s=data.get("min_s"),
+            max_s=data.get("max_s"),
+        )
+
+
+@dataclass
+class MetricsSnapshot:
+    """One immutable-by-convention capture of a recorder's state.
+
+    Plain data end to end: picklable across worker processes, JSON round-
+    trippable, and mergeable.  ``shards`` holds the per-shard snapshots of
+    a sharded run (as dicts, shard index under ``"shard"``), so the
+    ``--metrics`` output keeps per-shard spans next to the merged totals.
+    """
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+    spans: Dict[str, SpanStats] = field(default_factory=dict)
+    shards: List[Dict[str, Any]] = field(default_factory=list)
+
+    # -- combination -------------------------------------------------------
+
+    def absorb(self, other: "MetricsSnapshot") -> None:
+        """Merge *other* into this snapshot (counters sum, gauges max)."""
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, value in other.gauges.items():
+            current = self.gauges.get(name)
+            self.gauges[name] = value if current is None else max(current, value)
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = Histogram()
+                self.histograms[name] = mine
+            mine.merge(hist)
+        for path, span in other.spans.items():
+            mine_span = self.spans.get(path)
+            if mine_span is None:
+                self.spans[path] = SpanStats(
+                    path, span.count, span.total_s, span.min_s, span.max_s
+                )
+            else:
+                mine_span.merge(span)
+        self.shards.extend(other.shards)
+
+    @classmethod
+    def merge(cls, snapshots: Iterable["MetricsSnapshot"]) -> "MetricsSnapshot":
+        """Merge many snapshots into a fresh one (the spans/counters
+        analogue of :meth:`repro.report.ViolationReport.merge`)."""
+        merged = cls()
+        for snapshot in snapshots:
+            merged.absorb(snapshot)
+        return merged
+
+    # -- (de)serialization --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "schema": METRICS_SCHEMA,
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: hist.to_dict()
+                for name, hist in sorted(self.histograms.items())
+            },
+            "spans": [self.spans[path].to_dict() for path in sorted(self.spans)],
+        }
+        if self.shards:
+            data["shards"] = list(self.shards)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MetricsSnapshot":
+        snapshot = cls()
+        snapshot.counters = dict(data.get("counters", {}))
+        snapshot.gauges = dict(data.get("gauges", {}))
+        snapshot.histograms = {
+            name: Histogram.from_dict(hist)
+            for name, hist in data.get("histograms", {}).items()
+        }
+        for span in data.get("spans", []):
+            stats = SpanStats.from_dict(span)
+            snapshot.spans[stats.path] = stats
+        snapshot.shards = list(data.get("shards", []))
+        return snapshot
+
+    def dump(self, path: str) -> None:
+        """Write the snapshot as pretty-printed JSON to *path*."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "MetricsSnapshot":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def __bool__(self) -> bool:
+        return bool(
+            self.counters or self.gauges or self.histograms or self.spans
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<MetricsSnapshot counters={len(self.counters)} "
+            f"spans={len(self.spans)} shards={len(self.shards)}>"
+        )
+
+
+def is_metrics_dict(data: Any) -> bool:
+    """``True`` iff *data* looks like a serialized snapshot."""
+    return isinstance(data, dict) and data.get("schema") == METRICS_SCHEMA

@@ -75,6 +75,7 @@ class RunContext:
         locks: LockTable,
         annotations: Any,
         parallel_engine: str = "lca",
+        recorder: Any = None,
     ) -> None:
         self.dpst = dpst
         self.lca_engine = lca_engine
@@ -83,6 +84,15 @@ class RunContext:
         #: The program's atomicity annotations
         #: (:class:`repro.checker.annotations.AtomicAnnotations`).
         self.annotations = annotations
+        #: The observability sink for this run -- a
+        #: :class:`repro.obs.Recorder`; defaults to the no-op
+        #: :data:`repro.obs.NULL_RECORDER` so observers may use it
+        #: unconditionally.
+        if recorder is None:
+            from repro.obs import NULL_RECORDER
+
+            recorder = NULL_RECORDER
+        self.recorder = recorder
         #: Which parallelism-query engine answers ``lca_engine`` queries:
         #: ``"lca"`` (tree walks) or ``"labels"`` (offset-span labels).
         self.parallel_engine = parallel_engine
@@ -128,6 +138,7 @@ class Runtime:
         build_dpst: Optional[bool] = None,
         lca_cache: bool = True,
         parallel_engine: str = "lca",
+        recorder: Any = None,
     ) -> None:
         self.executor = executor
         self.observer = ObserverChain(list(observers))
@@ -159,6 +170,7 @@ class Runtime:
             self.locks,
             annotations,
             parallel_engine=parallel_engine,
+            recorder=recorder,
         )
         self._lock = threading.RLock()
         self._next_task_id = 0

@@ -46,6 +46,9 @@ class TaskLockState:
         self._epochs: Dict[str, int] = {}
         self._frozen_cache: FrozenSet[str] = frozenset()
         self._dirty = False
+        #: Fresh versioned names minted by re-acquisitions (epoch > 0);
+        #: surfaced as the ``runtime.lock_version_bumps`` metric.
+        self.versions_minted = 0
 
     def acquire(self, base: str) -> str:
         """Record acquisition of *base*; returns the versioned name."""
@@ -54,6 +57,8 @@ class TaskLockState:
                 f"task {self.task_id} re-acquired lock {base!r} it already holds"
             )
         epoch = self._epochs.get(base, 0)
+        if epoch:
+            self.versions_minted += 1
         name = versioned_name(base, epoch)
         self._held[base] = name
         self._dirty = True

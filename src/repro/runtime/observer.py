@@ -41,6 +41,18 @@ class RuntimeObserver:
     #: Set to ``True`` when the observer needs the DPST / LCA engine.
     requires_dpst = False
 
+    def metrics(self) -> dict:
+        """Accumulated observability counters, keyed by the canonical
+        names of :data:`repro.obs.METRIC_NAMES`.
+
+        Observers accumulate plain integers on their hot paths and
+        surface them here; pipeline drivers flush the mapping into a
+        :class:`repro.obs.Recorder` at phase boundaries (the per-event
+        path never touches a recorder, keeping the disabled-observability
+        configuration free).  The base implementation reports nothing.
+        """
+        return {}
+
     #: Set to ``True`` when the observer's verdict depends only on the
     #: per-location event subsequences (plus the DPST), never on the
     #: relative order of events touching *different* locations.  Such
@@ -178,6 +190,14 @@ class StatsObserver(RuntimeObserver):
         if not self.lca_queries:
             return 0.0
         return 100.0 * (self.lca_unique or 0) / self.lca_queries
+
+    def metrics(self) -> dict:
+        return {
+            "runtime.tasks": self.tasks,
+            "runtime.memory_events": self.memory_events,
+            "runtime.lock_ops": self.lock_ops,
+            "runtime.syncs": self.syncs,
+        }
 
 
 class TraceRecorder(RuntimeObserver):

@@ -12,6 +12,7 @@ collected trace, per-run statistics and each checker's violation report.
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Union
 
 from repro.checker.annotations import AtomicAnnotations
@@ -147,6 +148,42 @@ class RunResult:
             return found
         return None
 
+    @property
+    def metrics(self) -> Dict[str, int]:
+        """Flat observability counters for this run.
+
+        Sums every attached observer's ``metrics()`` and folds in the
+        parallelism engine's :class:`~repro.dpst.stats.EngineStats` and
+        the runtime's lock-version bumps -- all under the canonical
+        :data:`repro.obs.METRIC_NAMES` names, so a live run, an offline
+        ``jobs=1`` replay, and a ``jobs=N`` sharded run report
+        field-for-field comparable numbers.
+        """
+        merged: Dict[str, int] = {}
+        for observer in self.observers:
+            for name, value in observer.metrics().items():
+                merged[name] = merged.get(name, 0) + value
+        engine = self.context.lca_engine
+        if engine is not None:
+            for name, value in engine.stats.as_metrics().items():
+                merged[name] = merged.get(name, 0) + value
+        merged["runtime.lock_version_bumps"] = sum(
+            task.lock_state.versions_minted
+            for task in self.context.tasks.values()
+        )
+        return merged
+
+    @property
+    def checker_metrics(self) -> Dict[str, Dict[str, int]]:
+        """Per-observer counters, keyed like :attr:`reports`."""
+        out: Dict[str, Dict[str, int]] = {}
+        for observer in self.observers:
+            found = observer.metrics()
+            if found:
+                name = getattr(observer, "checker_name", type(observer).__name__)
+                out[name] = dict(found)
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
             f"<RunResult {self.program.name!r} elapsed={self.elapsed:.4f}s "
@@ -165,6 +202,7 @@ def run_program(
     parallel_engine: str = "lca",
     record_trace: bool = False,
     collect_stats: bool = False,
+    recorder: Any = None,
 ) -> RunResult:
     """Run *program* and return a :class:`RunResult`.
 
@@ -196,6 +234,12 @@ def run_program(
     record_trace / collect_stats:
         Attach a :class:`TraceRecorder` / :class:`StatsObserver`
         automatically and expose them on the result.
+    recorder:
+        Optional :class:`repro.obs.Recorder`.  When enabled, the run
+        executes under a ``"record"`` span and every observer's
+        accumulated counters (plus engine stats, lock-version bumps and
+        the DPST node count) are flushed into it at the end.  Disabled
+        or ``None`` adds nothing to the execution path.
     """
     if not isinstance(program, TaskProgram):
         program = TaskProgram(program)
@@ -206,11 +250,11 @@ def run_program(
         from repro.checker import make_checker
 
         attached.extend(make_checker(spec) for spec in checkers)
-    recorder: Optional[TraceRecorder] = None
+    trace_recorder: Optional[TraceRecorder] = None
     stats: Optional[StatsObserver] = None
     if record_trace:
-        recorder = TraceRecorder()
-        attached.append(recorder)
+        trace_recorder = TraceRecorder()
+        attached.append(trace_recorder)
     if collect_stats:
         stats = StatsObserver()
         attached.append(stats)
@@ -223,11 +267,33 @@ def run_program(
         build_dpst=build_dpst,
         lca_cache=lca_cache,
         parallel_engine=parallel_engine,
+        recorder=recorder,
     )
-    context = runtime.run(program.body, *program.args, **program.kwargs)
+    if recorder is not None and recorder.enabled:
+        from repro.obs import (
+            SPAN_RECORD,
+            flush_engine_stats,
+            flush_observer_metrics,
+        )
+
+        with recorder.span(SPAN_RECORD):
+            context = runtime.run(program.body, *program.args, **program.kwargs)
+        for observer in attached:
+            flush_observer_metrics(recorder, observer)
+        flush_engine_stats(recorder, context.lca_engine)
+        recorder.count(
+            "runtime.lock_version_bumps",
+            sum(
+                task.lock_state.versions_minted
+                for task in context.tasks.values()
+            ),
+        )
+        recorder.gauge("dpst.nodes", float(context.dpst_nodes))
+    else:
+        context = runtime.run(program.body, *program.args, **program.kwargs)
     root_task = context.tasks.get(0)
     value = None if root_task is None else root_task.result
-    return RunResult(program, context, attached, stats, recorder, value)
+    return RunResult(program, context, attached, stats, trace_recorder, value)
 
 
 def check_program(
@@ -239,14 +305,25 @@ def check_program(
 ) -> ViolationReport:
     """One-call convenience: run *program* under one checker.
 
+    .. deprecated::
+        :class:`repro.session.CheckSession` (or its
+        :func:`~repro.session.check_trace` shorthand) is the front door
+        now -- it covers live runs, recorded traces, trace files,
+        sharded checking and metrics collection under one API.  This
+        shim forwards to :func:`run_program` unchanged and will be
+        removed in a future release.
+
     ``checker`` is any :func:`repro.checker.make_checker` spec -- a
     registered name such as ``"optimized"``, a checker class, or a
     pre-built instance.  Returns the checker's
     :class:`~repro.report.ViolationReport`.
-
-    For offline sources (recorded traces, trace files) and sharded
-    checking, see :class:`repro.session.CheckSession`.
     """
+    warnings.warn(
+        "check_program() is deprecated; use repro.session.CheckSession "
+        "(or check_trace) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from repro.checker import make_checker
 
     analysis = make_checker(checker, **checker_kwargs)

@@ -74,6 +74,13 @@ class CheckSession:
         for program sources, check-everything otherwise.
     lca_cache:
         Enable the LCA memo table during replay.
+    recorder:
+        Optional :class:`repro.obs.Recorder` collecting metrics and
+        phase spans for everything this session does (recording, DPST
+        builds, every check, the sharded pipeline).  Defaults to the
+        no-op :data:`repro.obs.NULL_RECORDER`; pass a
+        :class:`repro.obs.MetricsRecorder` and read :attr:`metrics`
+        afterwards.
     """
 
     def __init__(
@@ -85,12 +92,19 @@ class CheckSession:
         executor: Any = None,
         annotations: Optional[AtomicAnnotations] = None,
         lca_cache: bool = True,
+        recorder: Any = None,
     ) -> None:
+        if recorder is None:
+            from repro.obs import NULL_RECORDER
+
+            recorder = NULL_RECORDER
         self.checker = checker
         self.jobs = jobs
         self.engine = engine
         self.executor = executor
         self.lca_cache = lca_cache
+        #: The session's observability sink (a :class:`repro.obs.Recorder`).
+        self.recorder = recorder
         #: Reports of every :meth:`check` call, keyed by checker name.
         self.reports: Dict[str, ViolationReport] = {}
 
@@ -98,6 +112,7 @@ class CheckSession:
         self._trace: Optional[Trace] = None
         self._reader: Optional[TraceReader] = None
         self._run_result = None
+        self._dpst_spanned = False
 
         if isinstance(source, TaskProgram):
             self._program = source
@@ -143,8 +158,12 @@ class CheckSession:
                 self._program,
                 executor=self.executor,
                 record_trace=True,
+                # Runtime counters (tasks, memory events, lock ops, syncs)
+                # ride along whenever the session is observed.
+                collect_stats=self.recorder.enabled,
                 parallel_engine=self.engine,
                 lca_cache=self.lca_cache,
+                recorder=self.recorder,
             )
         return self._run_result
 
@@ -187,19 +206,44 @@ class CheckSession:
             spec = make_checker(spec, **checker_kwargs)
         jobs = self.jobs if jobs is None else jobs
 
-        if jobs == 1:
-            report = self._check_in_process(spec)
+        if self.recorder.enabled:
+            from repro.obs import SPAN_CHECK
+
+            self._span_dpst_build()
+            with self.recorder.span(SPAN_CHECK):
+                report = self._dispatch(spec, jobs)
         else:
-            report = check_sharded(
-                self._sharded_source(),
-                checker=spec,
-                jobs=jobs,
-                annotations=self.annotations,
-                lca_cache=self.lca_cache,
-                parallel_engine=self.engine,
-            )
+            report = self._dispatch(spec, jobs)
         self.reports[checker_name_of(spec)] = report
         return report
+
+    def _dispatch(self, spec: CheckerSpec, jobs: Optional[int]) -> ViolationReport:
+        if jobs == 1:
+            return self._check_in_process(spec)
+        return check_sharded(
+            self._sharded_source(),
+            checker=spec,
+            jobs=jobs,
+            annotations=self.annotations,
+            lca_cache=self.lca_cache,
+            parallel_engine=self.engine,
+            recorder=self.recorder,
+        )
+
+    def _span_dpst_build(self) -> None:
+        """Time the one-off DPST materialization under ``dpst.build``.
+
+        Program sources build their tree inside :func:`run_program`'s
+        ``record`` span, so only offline sources get the explicit span.
+        Subsequent checks reuse the built tree; the span fires once.
+        """
+        if self._dpst_spanned or self._program is not None:
+            return
+        self._dpst_spanned = True
+        from repro.obs import SPAN_DPST_BUILD
+
+        with self.recorder.span(SPAN_DPST_BUILD):
+            self.dpst
 
     def check_all(self, *checkers: CheckerSpec) -> Dict[str, ViolationReport]:
         """Run several checkers (session defaults apply); return the mapping."""
@@ -227,6 +271,7 @@ class CheckSession:
                 annotations=self.annotations,
                 lca_cache=self.lca_cache,
                 parallel_engine=self.engine,
+                recorder=self.recorder,
             )
         return replay_memory_events(
             self.trace.memory_events(),
@@ -235,6 +280,7 @@ class CheckSession:
             annotations=self.annotations,
             lca_cache=self.lca_cache,
             parallel_engine=self.engine,
+            recorder=self.recorder,
         )
 
     # -- aggregate views ---------------------------------------------------
@@ -252,6 +298,14 @@ class CheckSession:
         for found in self.report():
             return found
         return None
+
+    @property
+    def metrics(self):
+        """A :class:`repro.obs.MetricsSnapshot` of everything recorded so
+        far, or ``None`` when the session runs with the no-op recorder."""
+        if not self.recorder.enabled:
+            return None
+        return self.recorder.snapshot()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

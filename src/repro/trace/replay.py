@@ -30,6 +30,7 @@ def _make_context(
     annotations: Optional[AtomicAnnotations],
     lca_cache: bool = True,
     parallel_engine: str = "lca",
+    recorder=None,
 ) -> RunContext:
     if dpst is None:
         engine = None
@@ -51,6 +52,7 @@ def _make_context(
         locks=LockTable(),
         annotations=annotations or AtomicAnnotations(),
         parallel_engine=parallel_engine,
+        recorder=recorder,
     )
 
 
@@ -61,6 +63,7 @@ def replay_memory_events(
     annotations: Optional[AtomicAnnotations] = None,
     lca_cache: bool = True,
     parallel_engine: str = "lca",
+    recorder=None,
 ) -> ViolationReport:
     """Feed *events* (in the given order) to *checker*; return its report.
 
@@ -69,17 +72,41 @@ def replay_memory_events(
     because the events already carry their step ids.  *events* may be any
     iterable, including a streaming generator over a trace file that never
     materializes the full event list.
+
+    *recorder* is an optional :class:`repro.obs.Recorder`.  When enabled,
+    the replay runs under a ``"replay"`` span, counts the events routed,
+    and flushes the checker's and engine's accumulated counters at the
+    end.  When disabled (or ``None``) the per-event loop is exactly the
+    historical one -- observability costs nothing it does not use.
     """
     needs_tree = getattr(checker, "requires_lca", checker.requires_dpst)
     if needs_tree and dpst is None:
         raise TraceError(
             f"{type(checker).__name__} needs the producing DPST to replay"
         )
-    context = _make_context(dpst, annotations, lca_cache, parallel_engine)
-    checker.on_run_begin(context)
-    for event in events:
-        checker.on_memory(event)
-    checker.on_run_end(context)
+    context = _make_context(dpst, annotations, lca_cache, parallel_engine, recorder)
+    if recorder is not None and recorder.enabled:
+        from repro.obs import (
+            SPAN_REPLAY,
+            flush_engine_stats,
+            flush_observer_metrics,
+        )
+
+        checker.on_run_begin(context)
+        routed = 0
+        with recorder.span(SPAN_REPLAY):
+            for event in events:
+                checker.on_memory(event)
+                routed += 1
+        checker.on_run_end(context)
+        recorder.count("trace.events.routed", routed)
+        flush_observer_metrics(recorder, checker)
+        flush_engine_stats(recorder, context.lca_engine)
+    else:
+        checker.on_run_begin(context)
+        for event in events:
+            checker.on_memory(event)
+        checker.on_run_end(context)
     report = getattr(checker, "report", None)
     if not isinstance(report, ViolationReport):
         raise TraceError(f"{type(checker).__name__} exposes no report")
@@ -92,6 +119,7 @@ def replay_trace(
     annotations: Optional[AtomicAnnotations] = None,
     lca_cache: bool = True,
     parallel_engine: str = "lca",
+    recorder=None,
 ) -> ViolationReport:
     """Replay a full :class:`Trace` through *checker*.
 
@@ -105,4 +133,5 @@ def replay_trace(
         annotations=annotations,
         lca_cache=lca_cache,
         parallel_engine=parallel_engine,
+        recorder=recorder,
     )

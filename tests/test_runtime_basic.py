@@ -216,7 +216,9 @@ class TestProgramWrapper:
             ctx.spawn(child)
             ctx.sync()
 
-        report = check_program(main)
+        # The deprecated shim still works, but says so.
+        with pytest.warns(DeprecationWarning, match="CheckSession"):
+            report = check_program(main)
         assert report
         assert report.locations() == ["X"]
 
