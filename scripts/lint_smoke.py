@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""CI lint-smoke: ``repro lint --json`` over every example and workload.
+
+Runs the static atomicity lint pass on an explicit manifest of targets,
+each with its expected outcome, and fails loudly on any drift:
+
+* ``clean`` -- zero ERROR-severity diagnostics (and exit code 0).  Races
+  without atomicity violations (``racy_but_atomic``, ``racy_branch``)
+  are *clean* here: the lint checks serializability, not race freedom.
+* ``candidate`` -- at least one candidate unserializable triple reported
+  at ERROR severity (``SAV001``: the skeleton is exact, so the triple is
+  statically confirmed) and exit code 1.
+* ``candidate-warn`` -- at least one candidate triple, but only at
+  WARNING severity (``SAV002``: the skeleton is imprecise, so the lint
+  will not claim an error).  Exit code 0.
+
+Note ``examples/quickstart.py`` and ``examples/paper_example.py`` are
+*intentionally* buggy -- they demonstrate the violations the paper's
+checker finds -- so they expect candidates, not cleanliness.
+
+The collected JSON reports are written to one artifact (default
+``lint-smoke.json``) for upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from typing import Any, Dict, List, Tuple
+
+CLEAN = "clean"
+CANDIDATE = "candidate"
+CANDIDATE_WARN = "candidate-warn"
+
+#: (target, expectation) for every examples/ program entry point and
+#: every src/repro/workloads/ kernel (clean and buggy variants).
+MANIFEST: List[Tuple[str, str]] = [
+    # examples/
+    ("examples.quickstart:main", CANDIDATE),
+    ("examples.bank_transfer:main", CLEAN),
+    ("examples.paper_example:figure1", CANDIDATE),
+    ("examples.paper_example:figure11", CANDIDATE),
+    ("examples.lock_versioning:buggy_worker", CLEAN),
+    ("examples.lock_versioning:correct_worker", CLEAN),
+    ("examples.coverage_guarantee:safe_fixed_accesses", CLEAN),
+    ("examples.coverage_guarantee:reduction_with_dynamic_indices", CLEAN),
+    ("examples.coverage_guarantee:racy_branch", CLEAN),
+    ("examples.kmeans_audit:build_broken", CANDIDATE_WARN),
+    ("examples.races_vs_atomicity:racy_but_atomic", CLEAN),
+    ("examples.races_vs_atomicity:atomic_violation_without_race", CANDIDATE),
+    ("examples.pipeline_audit:transform_unprotected", CLEAN),
+    ("examples.pipeline_audit:transform_locked", CLEAN),
+    # the 13 clean workload kernels
+    ("repro.workloads.blackscholes:build", CLEAN),
+    ("repro.workloads.bodytrack:build", CLEAN),
+    ("repro.workloads.streamcluster:build", CLEAN),
+    ("repro.workloads.swaptions:build", CLEAN),
+    ("repro.workloads.fluidanimate:build", CLEAN),
+    ("repro.workloads.convexhull:build", CLEAN),
+    ("repro.workloads.delrefine:build", CLEAN),
+    ("repro.workloads.deltriang:build", CLEAN),
+    ("repro.workloads.karatsuba:build", CLEAN),
+    ("repro.workloads.kmeans:build", CLEAN),
+    ("repro.workloads.nearestneigh:build", CLEAN),
+    ("repro.workloads.raycast:build", CLEAN),
+    ("repro.workloads.sort:build", CLEAN),
+    # workloads/buggy.py: exact skeletons yield SAV001 errors, imprecise
+    # ones still surface their candidates as SAV002 warnings
+    ("repro.workloads.buggy:build_swaptions_unlocked", CANDIDATE),
+    ("repro.workloads.buggy:build_streamcluster_split_cs", CANDIDATE),
+    ("repro.workloads.buggy:build_deltriang_mutable_walk", CANDIDATE),
+    ("repro.workloads.buggy:build_kmeans_unlocked", CANDIDATE_WARN),
+    ("repro.workloads.buggy:build_delrefine_racy_cavity", CANDIDATE_WARN),
+    ("repro.workloads.buggy:build_fluidanimate_missing_sync", CANDIDATE_WARN),
+]
+
+
+def run_lint(target: str) -> Tuple[int, Dict[str, Any]]:
+    """One ``repro lint --json`` invocation; returns (exit code, report)."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", target, "--json"],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode not in (0, 1):
+        raise RuntimeError(
+            f"repro lint {target} crashed (exit {proc.returncode}):\n"
+            f"{proc.stderr}"
+        )
+    return proc.returncode, json.loads(proc.stdout)
+
+
+def check_expectation(
+    target: str, expectation: str, exit_code: int, report: Dict[str, Any]
+) -> List[str]:
+    counts = report["counts"]
+    problems: List[str] = []
+    if expectation == CLEAN:
+        if counts["errors"]:
+            problems.append(f"expected zero errors, got {counts['errors']}")
+        if exit_code != 0:
+            problems.append(f"expected exit 0, got {exit_code}")
+    elif expectation == CANDIDATE:
+        if not counts["candidates"]:
+            problems.append("expected candidate triples, found none")
+        if not counts["errors"]:
+            problems.append("expected SAV001 errors, found none")
+        if exit_code != 1:
+            problems.append(f"expected exit 1, got {exit_code}")
+    elif expectation == CANDIDATE_WARN:
+        if not counts["candidates"]:
+            problems.append("expected candidate triples, found none")
+        if counts["errors"]:
+            problems.append(
+                f"imprecise skeleton must not claim errors, got "
+                f"{counts['errors']}"
+            )
+    else:  # pragma: no cover - manifest typo guard
+        problems.append(f"unknown expectation {expectation!r}")
+    return problems
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o", "--output", default="lint-smoke.json",
+        help="artifact path for the collected JSON reports",
+    )
+    args = parser.parse_args(argv)
+
+    results: List[Dict[str, Any]] = []
+    failures = 0
+    for target, expectation in MANIFEST:
+        exit_code, report = run_lint(target)
+        problems = check_expectation(target, expectation, exit_code, report)
+        counts = report["counts"]
+        verdict = "ok" if not problems else "FAIL"
+        print(
+            f"{verdict:<4} {target:<58} [{expectation}] "
+            f"errors={counts['errors']} warnings={counts['warnings']} "
+            f"candidates={counts['candidates']}"
+        )
+        for problem in problems:
+            print(f"       -> {problem}")
+        failures += bool(problems)
+        results.append(
+            {
+                "target": target,
+                "expectation": expectation,
+                "exit_code": exit_code,
+                "problems": problems,
+                "report": report,
+            }
+        )
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump({"results": results, "failures": failures}, handle, indent=2)
+    print(
+        f"\n{len(results)} target(s), {failures} failure(s); "
+        f"reports written to {args.output}"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

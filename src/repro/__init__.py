@@ -47,7 +47,11 @@ The package layers:
   benchmarks;
 * :mod:`repro.bench` -- harnesses regenerating Table 1 and Figures 13/14;
 * :mod:`repro.obs` -- the observability layer: counters, gauges,
-  histograms and phase spans behind one :class:`~repro.obs.Recorder`.
+  histograms and phase spans behind one :class:`~repro.obs.Recorder`;
+* :mod:`repro.static` -- static analysis: access-set over-approximation,
+  trace-coverage validation, and the ``repro lint`` pass (static MHP +
+  locksets + Figure 4 candidate triples, feeding the sharded checker's
+  ``--static-prefilter``).
 """
 
 from repro.report import (
@@ -108,8 +112,23 @@ from repro.obs import (
     MetricsSnapshot,
     Recorder,
 )
+from repro.static import (
+    LintReport,
+    MHPIndex,
+    StaticAccessSet,
+    StaticCandidate,
+    StaticSkeleton,
+    analyze_function,
+    analyze_spec,
+    check_trace_coverage,
+    lint_function,
+    lint_program,
+    lint_spec,
+    skeleton_from_function,
+    skeleton_from_spec,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "READ",
@@ -159,5 +178,18 @@ __all__ = [
     "MetricsSnapshot",
     "NULL_RECORDER",
     "Recorder",
+    "LintReport",
+    "MHPIndex",
+    "StaticAccessSet",
+    "StaticCandidate",
+    "StaticSkeleton",
+    "analyze_function",
+    "analyze_spec",
+    "check_trace_coverage",
+    "lint_function",
+    "lint_program",
+    "lint_spec",
+    "skeleton_from_function",
+    "skeleton_from_spec",
     "__version__",
 ]

@@ -29,6 +29,15 @@ Two input shapes:
 Workers replay their shard with :func:`repro.trace.replay.replay_memory_events`
 and return a :class:`~repro.report.ViolationReport`; the driver merges them
 with :meth:`ViolationReport.merge`.
+
+Static prefilter: ``skip_locations`` (normally produced by
+``repro.static.lint`` serial-location proofs, via
+``CheckSession.check(static_prefilter=...)``) drops every memory event on
+those locations before replay -- in the parent for in-memory sources, in
+each worker for streamed files, so ``jobs=1`` and ``jobs=N`` drop (and
+count) exactly the same events.  The driver never decides *whether*
+skipping is sound; callers must only pass locations proven
+schedule-serial.
 """
 
 from __future__ import annotations
@@ -59,6 +68,30 @@ Location = Hashable
 CheckerSpec = Any
 
 TraceSource = Union[Trace, TraceReader, str, "os.PathLike[str]"]
+
+#: Locations whose events the driver may drop (proven schedule-serial).
+SkipLocations = Optional[frozenset]
+
+
+def filter_skipped(
+    events: Iterable[MemoryEvent],
+    skip_locations: frozenset,
+    recorder=None,
+) -> Iterable[MemoryEvent]:
+    """Drop events on *skip_locations*, counting every drop.
+
+    The count lands on *recorder* (when enabled) as
+    ``static.prefilter.events_skipped`` -- in the parent for in-memory
+    sources and ``jobs=1``, in the worker snapshot for streamed shards,
+    so the summed totals match across job counts.
+    """
+    counting = recorder is not None and recorder.enabled
+    for event in events:
+        if isinstance(event, MemoryEvent) and event.location in skip_locations:
+            if counting:
+                recorder.count("static.prefilter.events_skipped")
+            continue
+        yield event
 
 
 def shard_for_location(location: Location, jobs: int) -> int:
@@ -185,6 +218,7 @@ def _check_shard_from_file(
         lca_cache,
         parallel_engine,
         collect,
+        skip_locations,
     ) = args
     reader = open_trace(path)
     keyed = annotations is not None and not annotations.trivial
@@ -205,6 +239,10 @@ def _check_shard_from_file(
         events = reader.memory_events(shard=shard, jobs=jobs)
 
     recorder = _worker_recorder(collect)
+    if skip_locations:
+        # Each worker drops its own shard's skipped events (the parent
+        # never sees the stream), counting into its private snapshot.
+        events = filter_skipped(events, skip_locations, recorder)
     started = time.perf_counter()
     report = replay_memory_events(
         events,
@@ -237,6 +275,7 @@ def check_sharded(
     lca_cache: bool = True,
     parallel_engine: str = "lca",
     recorder=None,
+    skip_locations: SkipLocations = None,
 ) -> ViolationReport:
     """Check *source* with ``jobs`` parallel per-location shards.
 
@@ -263,12 +302,22 @@ def check_sharded(
         :meth:`~repro.obs.MetricsRecorder.add_shard`: counters sum into
         the parent totals while each shard's spans stay listed under the
         snapshot's ``shards`` array.  Disabled or ``None`` costs nothing.
+    skip_locations:
+        Locations proven schedule-serial by the static lint pass: their
+        memory events are dropped before replay (and counted, never
+        silently).  Soundness is the caller's responsibility -- use
+        :meth:`repro.session.CheckSession.check` with
+        ``static_prefilter=...`` for the safety-gated path.
 
     Returns the merged, deduplicated :class:`ViolationReport`.
     """
     jobs = default_jobs() if jobs is None else jobs
     if jobs < 1:
         raise TraceError(f"jobs must be >= 1, got {jobs}")
+    if skip_locations is not None and not skip_locations:
+        skip_locations = None
+    if skip_locations and recorder is not None and recorder.enabled:
+        recorder.count("static.prefilter.locations", len(skip_locations))
 
     if isinstance(source, (str, os.PathLike)):
         reader: Optional[TraceReader] = open_trace(source)
@@ -294,6 +343,8 @@ def check_sharded(
             events, dpst = trace.memory_events(), trace.dpst
         else:
             events, dpst = reader.memory_events(), reader.dpst
+        if skip_locations:
+            events = filter_skipped(events, skip_locations, recorder)
         return replay_memory_events(
             events,
             make_checker(checker),
@@ -309,11 +360,15 @@ def check_sharded(
     if collect:
         return _check_sharded_recorded(
             trace, reader, path, checker, jobs, annotations,
-            lca_cache, parallel_engine, recorder,
+            lca_cache, parallel_engine, recorder, skip_locations,
         )
     context = _pool_context()
     if trace is not None:
-        shards = partition_memory_events(trace.events, jobs, annotations)
+        source_events: Iterable[object] = trace.events
+        if skip_locations:
+            # In-memory: the parent partitions, so the parent filters.
+            source_events = filter_skipped(source_events, skip_locations)
+        shards = partition_memory_events(source_events, jobs, annotations)
         dpst_dict = None if trace.dpst is None else dpst_to_dict(trace.dpst)
         work = [
             (dpst_dict, shard, checker, annotations, lca_cache, parallel_engine, False)
@@ -326,7 +381,8 @@ def check_sharded(
             results = pool.map(_check_shard_events, work)
     else:
         work = [
-            (path, shard, jobs, checker, annotations, lca_cache, parallel_engine, False)
+            (path, shard, jobs, checker, annotations, lca_cache,
+             parallel_engine, False, skip_locations)
             for shard in range(jobs)
         ]
         with context.Pool(processes=jobs) as pool:
@@ -344,6 +400,7 @@ def _check_sharded_recorded(
     lca_cache: bool,
     parallel_engine: str,
     recorder,
+    skip_locations: SkipLocations = None,
 ) -> ViolationReport:
     """The ``jobs > 1`` path with observability on.
 
@@ -358,7 +415,12 @@ def _check_sharded_recorded(
     with recorder.span(SPAN_SHARDED):
         if trace is not None:
             with recorder.span(SPAN_PARTITION):
-                shards = partition_memory_events(trace.events, jobs, annotations)
+                source_events: Iterable[object] = trace.events
+                if skip_locations:
+                    source_events = filter_skipped(
+                        source_events, skip_locations, recorder
+                    )
+                shards = partition_memory_events(source_events, jobs, annotations)
                 dpst_dict = None if trace.dpst is None else dpst_to_dict(trace.dpst)
                 work = [
                     (dpst_dict, shard, checker, annotations,
@@ -378,7 +440,7 @@ def _check_sharded_recorded(
         else:
             work = [
                 (path, shard, jobs, checker, annotations,
-                 lca_cache, parallel_engine, True)
+                 lca_cache, parallel_engine, True, skip_locations)
                 for shard in range(jobs)
             ]
             shard_ids = list(range(jobs))

@@ -20,6 +20,15 @@ Commands
     The offline pipeline: check a recorded trace file through the unified
     :class:`~repro.session.CheckSession` API, optionally sharded by
     location across N worker processes.
+``lint MODULE:FUNC`` / ``lint --spec FILE``
+    The static atomicity lint pass (:mod:`repro.static`): builds the
+    static series-parallel skeleton, runs MHP + lockset analysis, and
+    prints candidate unserializable triples and structural ``SAVnnn``
+    diagnostics without executing the program.  ``--json`` emits the
+    machine-readable report.  ``check`` and ``check-trace`` accept
+    ``--static-prefilter`` to drop events on locations the lint pass
+    proves schedule-serial (exact skeletons only; refusals and skip
+    counts are always printed).
 ``stats FILE``
     Summarize a ``--metrics`` JSON snapshot (counters, spans, per-shard
     timings) or, given a trace file, its basic shape.
@@ -60,6 +69,43 @@ def _load_callable(spec: str) -> Callable[..., Any]:
         return getattr(module, func_name)
     except AttributeError as exc:
         raise SystemExit(f"{module_name} has no function {func_name!r}") from exc
+
+
+def _load_lint_target(spec: str) -> Any:
+    """Resolve ``MODULE:FUNC`` to something :func:`repro.static.lint_program`
+    accepts.
+
+    The attribute may be a task body taking ``ctx``, a zero-argument
+    builder returning a :class:`TaskProgram` (the workload/example
+    convention), or a :class:`TaskProgram` instance.
+    """
+    import inspect
+
+    obj = _load_callable(spec)
+    if isinstance(obj, TaskProgram):
+        return obj
+    if not callable(obj):
+        raise SystemExit(f"{spec} is neither a callable nor a TaskProgram")
+    try:
+        signature = inspect.signature(obj)
+    except (TypeError, ValueError):
+        return obj
+    required = [
+        param
+        for param in signature.parameters.values()
+        if param.default is param.empty
+        and param.kind
+        in (param.POSITIONAL_ONLY, param.POSITIONAL_OR_KEYWORD)
+    ]
+    if required:
+        return obj  # takes ctx (or more): treat as a task body
+    built = obj()
+    if isinstance(built, TaskProgram):
+        return built
+    raise SystemExit(
+        f"{spec} takes no ctx parameter but did not build a TaskProgram "
+        f"(got {type(built).__name__})"
+    )
 
 
 def _make_executor(name: str, seed: int, workers: int):
@@ -115,10 +161,72 @@ def _dump_metrics(recorder, args: argparse.Namespace) -> None:
     print(f"metrics written to {args.metrics}")
 
 
+def _print_prefilter(session, recorder) -> None:
+    """Render the outcome of a ``--static-prefilter`` request.
+
+    Skipping is never silent: this prints either the applied filter with
+    its dropped-event count or the reason filtering was refused.
+    """
+    info = session.prefilter_info
+    if info is None:
+        return
+    if not info["applied"]:
+        print(f"static prefilter: disabled -- {info['reason']}")
+        return
+    skipped = 0
+    if recorder is not None and recorder.enabled:
+        skipped = int(
+            recorder.snapshot().counters.get(
+                "static.prefilter.events_skipped", 0
+            )
+        )
+    locations = ", ".join(info["locations"]) or "-"
+    print(
+        f"static prefilter: {info['reason']}; "
+        f"dropped {skipped} event(s) on [{locations}]"
+    )
+
+
+def _check_with_prefilter(body, args: argparse.Namespace, recorder) -> int:
+    """The ``check --static-prefilter`` path, routed through CheckSession."""
+    from repro.obs import MetricsRecorder
+    from repro.session import CheckSession
+
+    if args.dpst_layout != "array":
+        raise SystemExit(
+            "--static-prefilter checks through CheckSession, which uses "
+            "the array DPST layout; drop --dpst-layout"
+        )
+    if recorder is None:
+        # A private recorder so the skipped-event count can be reported.
+        recorder = MetricsRecorder()
+    session = CheckSession(
+        TaskProgram(body),
+        checker=args.checker,
+        engine=args.engine,
+        executor=_make_executor(args.executor, args.seed, args.workers),
+        recorder=recorder,
+    )
+    report = session.check(static_prefilter=True)
+    print(report.describe())
+    _print_prefilter(session, recorder)
+    result = session.run_result
+    if args.stats and result is not None and result.stats is not None:
+        stats = result.stats
+        print(
+            f"\ntasks={stats.tasks} accesses={stats.memory_events} "
+            f"dpst_nodes={stats.dpst_nodes} lca_queries={stats.lca_queries}"
+        )
+    _dump_metrics(recorder if getattr(args, "metrics", None) else None, args)
+    return 1 if report else 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     body = _load_callable(args.program)
-    checker = make_checker(args.checker)
     recorder = _metrics_recorder(args)
+    if args.static_prefilter:
+        return _check_with_prefilter(body, args, recorder)
+    checker = make_checker(args.checker)
     result = run_program(
         TaskProgram(body),
         executor=_make_executor(args.executor, args.seed, args.workers),
@@ -239,14 +347,45 @@ def cmd_check_trace(args: argparse.Namespace) -> int:
 
     jobs = None if args.jobs == 0 else args.jobs
     recorder = _metrics_recorder(args)
+    prefilter: Any = False
+    if args.static_prefilter:
+        # Offline traces carry no program text, so the prefilter flag
+        # names the program (MODULE:FUNC) the trace was recorded from.
+        prefilter = _load_lint_target(args.static_prefilter)
+        if recorder is None:
+            from repro.obs import MetricsRecorder
+
+            recorder = MetricsRecorder()
     session = CheckSession(
         args.trace, checker=args.checker, jobs=jobs, engine=args.engine,
         recorder=recorder,
     )
-    report = session.check()
+    report = session.check(static_prefilter=prefilter)
     print(report.describe())
-    _dump_metrics(recorder, args)
+    _print_prefilter(session, recorder)
+    _dump_metrics(recorder if getattr(args, "metrics", None) else None, args)
     return 1 if report else 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.static import lint_program, lint_spec
+
+    if bool(args.program) == bool(args.spec):
+        raise SystemExit("lint needs exactly one of MODULE:FUNC or --spec FILE")
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            spec_tree = json.load(handle)
+        report = lint_spec(spec_tree, target=args.spec)
+    else:
+        target = _load_lint_target(args.program)
+        report = lint_program(target, target=args.program)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.describe())
+    return 1 if report.has_errors else 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -439,6 +578,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", metavar="OUT.json", default=None,
         help="collect observability metrics and write the snapshot here",
     )
+    check.add_argument(
+        "--static-prefilter", action="store_true",
+        help="lint the body first and skip locations proven "
+        "schedule-serial (refused, with the reason printed, unless the "
+        "static skeleton is exact)",
+    )
     _add_run_options(check)
     check.set_defaults(handler=cmd_check)
 
@@ -491,8 +636,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect pipeline metrics (merged counters + per-shard spans) "
         "and write the snapshot here",
     )
+    check_trace.add_argument(
+        "--static-prefilter", metavar="MODULE:FUNC", default=None,
+        help="lint the named program (the one this trace was recorded "
+        "from) and skip locations proven schedule-serial",
+    )
     _add_engine_option(check_trace)
     check_trace.set_defaults(handler=cmd_check_trace)
+
+    lint = commands.add_parser(
+        "lint",
+        help="static atomicity lint: MHP + lockset analysis, candidate "
+        "unserializable triples, SAVnnn diagnostics",
+    )
+    lint.add_argument(
+        "program", nargs="?", default=None,
+        help="import path of a task body, TaskProgram, or zero-argument "
+        "builder, e.g. mypkg.mymod:main",
+    )
+    lint.add_argument(
+        "--spec", metavar="FILE", default=None,
+        help="lint a JSON generator spec tree instead of a MODULE:FUNC",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit the JSON report"
+    )
+    lint.set_defaults(handler=cmd_lint)
 
     stats = commands.add_parser(
         "stats",

@@ -62,6 +62,7 @@ __all__ = [
     "SHARD_SENSITIVE_METRICS",
     "SPAN_CHECK",
     "SPAN_DPST_BUILD",
+    "SPAN_LINT",
     "SPAN_MAP",
     "SPAN_MERGE",
     "SPAN_PARTITION",
@@ -91,6 +92,7 @@ SPAN_SHARDED = "sharded"
 SPAN_PARTITION = "partition"
 SPAN_MAP = "map"
 SPAN_MERGE = "merge"
+SPAN_LINT = "static.lint"
 
 # -- canonical metric names --------------------------------------------------
 
@@ -140,6 +142,18 @@ METRIC_NAMES: Dict[str, str] = {
     # per-worker (inside shard snapshots)
     "worker.elapsed_s": "wall seconds one worker spent on its shard",
     "worker.pid": "OS pid of the worker process",
+    # static lint pass (repro lint / CheckSession.lint)
+    "static.lint.runs": "lint passes executed",
+    "static.lint.accesses": "static accesses collected by the skeleton builder",
+    "static.lint.steps": "static step regions in the skeleton",
+    "static.lint.candidates": "candidate unserializable triples found statically",
+    "static.lint.errors": "error-severity diagnostics",
+    "static.lint.warnings": "warning-severity diagnostics",
+    "static.lint.serial_locations": "exact locations proven schedule-serial",
+    # static prefilter (sharded/in-process event dropping)
+    "static.prefilter.locations": "locations the dynamic check skipped as schedule-serial",
+    "static.prefilter.events_skipped": "memory events dropped by the static prefilter",
+    "static.prefilter.disabled": "prefilter requests refused for safety (imprecise lint or non-trivial annotations)",
 }
 
 #: Counters whose totals legitimately differ between ``jobs=1`` and

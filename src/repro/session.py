@@ -37,7 +37,7 @@ from typing import Any, Dict, Optional, Union
 
 from repro.checker import checker_name_of, make_checker
 from repro.checker.annotations import AtomicAnnotations
-from repro.checker.sharded import CheckerSpec, check_sharded
+from repro.checker.sharded import CheckerSpec, check_sharded, filter_skipped
 from repro.errors import TraceError
 from repro.report import ViolationReport
 from repro.runtime.program import TaskProgram, run_program
@@ -107,6 +107,11 @@ class CheckSession:
         self.recorder = recorder
         #: Reports of every :meth:`check` call, keyed by checker name.
         self.reports: Dict[str, ViolationReport] = {}
+        #: Outcome of the last ``static_prefilter=`` request (see
+        #: :meth:`check`): ``{"requested", "applied", "locations",
+        #: "reason"}`` -- the CLI renders this so skips are never silent.
+        self.prefilter_info: Optional[Dict[str, Any]] = None
+        self._lint_report = None
 
         self._program: Optional[TaskProgram] = None
         self._trace: Optional[Trace] = None
@@ -192,6 +197,7 @@ class CheckSession:
         self,
         checker: Optional[CheckerSpec] = None,
         jobs: Optional[int] = None,
+        static_prefilter: Any = False,
         **checker_kwargs: Any,
     ) -> ViolationReport:
         """Run one checker over the source; return (and remember) its report.
@@ -200,26 +206,42 @@ class CheckSession:
         ``checker_kwargs`` are forwarded to checker construction (names
         and classes only).  Repeated calls reuse the recorded trace, so a
         program source executes exactly once per session.
+
+        ``static_prefilter`` drops events on locations the static lint
+        pass proves schedule-serial before the dynamic check runs:
+        ``True`` lints the session's own program source, or pass a task
+        body / :class:`TaskProgram` / generator spec /
+        pre-built :class:`~repro.static.lint.LintReport` describing the
+        program that produced an offline trace.  Filtering is refused --
+        with the reason recorded in :attr:`prefilter_info`, never
+        silently -- unless the lint skeleton is fully exact and the
+        session's annotations are trivial.
         """
         spec = self.checker if checker is None else checker
         if checker_kwargs:
             spec = make_checker(spec, **checker_kwargs)
         jobs = self.jobs if jobs is None else jobs
+        skip = self._resolve_prefilter(static_prefilter)
 
         if self.recorder.enabled:
             from repro.obs import SPAN_CHECK
 
             self._span_dpst_build()
             with self.recorder.span(SPAN_CHECK):
-                report = self._dispatch(spec, jobs)
+                report = self._dispatch(spec, jobs, skip)
         else:
-            report = self._dispatch(spec, jobs)
+            report = self._dispatch(spec, jobs, skip)
         self.reports[checker_name_of(spec)] = report
         return report
 
-    def _dispatch(self, spec: CheckerSpec, jobs: Optional[int]) -> ViolationReport:
+    def _dispatch(
+        self,
+        spec: CheckerSpec,
+        jobs: Optional[int],
+        skip_locations: Optional[frozenset] = None,
+    ) -> ViolationReport:
         if jobs == 1:
-            return self._check_in_process(spec)
+            return self._check_in_process(spec, skip_locations)
         return check_sharded(
             self._sharded_source(),
             checker=spec,
@@ -228,6 +250,7 @@ class CheckSession:
             lca_cache=self.lca_cache,
             parallel_engine=self.engine,
             recorder=self.recorder,
+            skip_locations=skip_locations,
         )
 
     def _span_dpst_build(self) -> None:
@@ -259,29 +282,118 @@ class CheckSession:
             return self._reader
         return self.trace  # program: record, then shard the trace
 
-    def _check_in_process(self, spec: CheckerSpec) -> ViolationReport:
+    def _check_in_process(
+        self, spec: CheckerSpec, skip_locations: Optional[frozenset] = None
+    ) -> ViolationReport:
         """jobs=1: stream file sources, replay in-memory ones."""
         analysis = make_checker(spec)
         if self._trace is None and self._reader is not None:
             # File source: never materialize the event list.
-            return replay_memory_events(
-                self._reader.memory_events(),
-                analysis,
-                dpst=self._reader.dpst,
-                annotations=self.annotations,
-                lca_cache=self.lca_cache,
-                parallel_engine=self.engine,
-                recorder=self.recorder,
-            )
+            events = self._reader.memory_events()
+            dpst = self._reader.dpst
+        else:
+            events = self.trace.memory_events()
+            dpst = self.trace.dpst
+        if skip_locations:
+            if self.recorder.enabled:
+                self.recorder.count(
+                    "static.prefilter.locations", len(skip_locations)
+                )
+            events = filter_skipped(events, skip_locations, self.recorder)
         return replay_memory_events(
-            self.trace.memory_events(),
+            events,
             analysis,
-            dpst=self.trace.dpst,
+            dpst=dpst,
             annotations=self.annotations,
             lca_cache=self.lca_cache,
             parallel_engine=self.engine,
             recorder=self.recorder,
         )
+
+    # -- static analysis ---------------------------------------------------
+
+    def lint(self, target: Any = None):
+        """Run the static lint pass; return its
+        :class:`~repro.static.lint.LintReport`.
+
+        With no *target* the session's program source is linted (and the
+        report cached); offline sessions must pass the task body,
+        :class:`TaskProgram`, or generator spec the trace came from.
+        """
+        from repro.static.lint import LintReport, lint_program
+
+        if isinstance(target, LintReport):
+            return target
+        if target is None:
+            if self._lint_report is not None:
+                return self._lint_report
+            if self._program is None:
+                raise TraceError(
+                    "lint needs program text: this session checks a "
+                    f"{self.source_kind}; pass the task body, TaskProgram "
+                    "or generator spec explicitly"
+                )
+            target = self._program
+        if self.recorder.enabled:
+            from repro.obs import SPAN_LINT
+
+            with self.recorder.span(SPAN_LINT):
+                report = lint_program(target)
+            counts = report.severity_counts()
+            self.recorder.count("static.lint.runs")
+            self.recorder.count(
+                "static.lint.accesses", len(report.skeleton.accesses)
+            )
+            self.recorder.count("static.lint.steps", len(report.skeleton.steps()))
+            self.recorder.count("static.lint.candidates", len(report.candidates))
+            self.recorder.count("static.lint.errors", counts["error"])
+            self.recorder.count("static.lint.warnings", counts["warning"])
+            self.recorder.count(
+                "static.lint.serial_locations", len(report.serial_locations)
+            )
+        else:
+            report = lint_program(target)
+        if target is self._program:
+            self._lint_report = report
+        return report
+
+    def _resolve_prefilter(self, request: Any) -> Optional[frozenset]:
+        """Turn a ``static_prefilter=`` request into safe skip locations.
+
+        Never silent: the decision (and the reason for refusing) lands in
+        :attr:`prefilter_info`.
+        """
+        if request is False or request is None:
+            return None
+        report = self.lint(None if request is True else request)
+        info: Dict[str, Any] = {
+            "requested": True,
+            "applied": False,
+            "locations": [],
+            "reason": "",
+        }
+        self.prefilter_info = info
+        if self.annotations is not None and not self.annotations.trivial:
+            info["reason"] = (
+                "non-trivial atomicity annotations (grouped locations "
+                "share metadata, so per-location proofs do not compose)"
+            )
+        elif not report.prefilter_safe:
+            info["reason"] = (
+                "lint skeleton is not exact (imprecise location patterns "
+                "or approximated constructs)"
+            )
+        else:
+            locations = report.prefilter_locations()
+            info["applied"] = True
+            info["locations"] = sorted(repr(loc) for loc in locations)
+            info["reason"] = (
+                f"{len(locations)} location(s) proven schedule-serial"
+            )
+            return frozenset(locations) if locations else None
+        if self.recorder.enabled:
+            self.recorder.count("static.prefilter.disabled")
+        return None
 
     # -- aggregate views ---------------------------------------------------
 

@@ -20,7 +20,16 @@ This package explores it:
   order) in the observed trace.  A clean coverage report means the
   checker's "all schedules for this input" guarantee stands; missing
   accesses pinpoint input-dependent branches the observed execution did
-  not take.
+  not take;
+* :mod:`repro.static.structure` / :mod:`repro.static.mhp` /
+  :mod:`repro.static.locksets` -- the static series-parallel skeleton,
+  may-happen-in-parallel via the DPST LCA rule applied to it, and
+  versioned static locksets (Section 3.3 replayed over lexical scopes);
+* :mod:`repro.static.lint` / :mod:`repro.static.diagnostics` -- the
+  ``repro lint`` pass: candidate unserializable triples per Figure 4
+  found without running the program, structural ``SAVnnn`` diagnostics,
+  and schedule-serial location proofs that feed the sharded checker's
+  ``--static-prefilter``.
 """
 
 from repro.static.accesses import (
@@ -30,6 +39,21 @@ from repro.static.accesses import (
     analyze_spec,
 )
 from repro.static.coverage import CoverageReport, check_trace_coverage
+from repro.static.diagnostics import RULES, Diagnostic
+from repro.static.lint import (
+    LintReport,
+    StaticCandidate,
+    lint_function,
+    lint_program,
+    lint_skeleton,
+    lint_spec,
+)
+from repro.static.mhp import MHPIndex
+from repro.static.structure import (
+    StaticSkeleton,
+    skeleton_from_function,
+    skeleton_from_spec,
+)
 
 __all__ = [
     "AccessPattern",
@@ -38,4 +62,16 @@ __all__ = [
     "analyze_spec",
     "CoverageReport",
     "check_trace_coverage",
+    "Diagnostic",
+    "RULES",
+    "LintReport",
+    "StaticCandidate",
+    "lint_function",
+    "lint_program",
+    "lint_skeleton",
+    "lint_spec",
+    "MHPIndex",
+    "StaticSkeleton",
+    "skeleton_from_function",
+    "skeleton_from_spec",
 ]

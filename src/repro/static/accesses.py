@@ -172,6 +172,24 @@ def _literal(node: ast.expr) -> Tuple[bool, Any]:
         return False, None
 
 
+def _call_argument(
+    node: ast.Call, index: int, keyword: Optional[str]
+) -> Optional[ast.expr]:
+    """Positional *index* of a call, falling back to keyword *keyword*.
+
+    The runtime API accepts its arguments by keyword too
+    (``ctx.write(location="x", value=1)``, ``ctx.spawn(body=f)``), so the
+    analysis must look at ``node.keywords`` as well as ``node.args``.
+    """
+    if len(node.args) > index:
+        return node.args[index]
+    if keyword is not None:
+        for entry in node.keywords:
+            if entry.arg == keyword:
+                return entry.value
+    return None
+
+
 def _location_pattern(node: ast.expr) -> Tuple[str, Any]:
     """Abstract a location expression to (kind, value)."""
     constant, value = _literal(node)
@@ -228,18 +246,19 @@ class _BodyAnalyzer(ast.NodeVisitor):
         self.generic_visit(node)
 
     def _handle_ctx_call(self, method: str, node: ast.Call) -> None:
-        if method in _READ_METHODS and node.args:
-            kind, value = _location_pattern(node.args[0])
-            self.result.add(kind, value, READ)
-        elif method in _WRITE_METHODS and node.args:
-            kind, value = _location_pattern(node.args[0])
-            self.result.add(kind, value, WRITE)
-        elif method in _RMW_METHODS and node.args:
-            kind, value = _location_pattern(node.args[0])
-            self.result.add(kind, value, READ)
-            self.result.add(kind, value, WRITE)
-        elif method in _SPAWN_METHODS and node.args:
-            target = node.args[0]
+        if method in _READ_METHODS | _WRITE_METHODS | _RMW_METHODS:
+            location = _call_argument(node, 0, "location")
+            if location is None:
+                return
+            kind, value = _location_pattern(location)
+            if method not in _WRITE_METHODS:
+                self.result.add(kind, value, READ)
+            if method not in _READ_METHODS:
+                self.result.add(kind, value, WRITE)
+        elif method in _SPAWN_METHODS:
+            target = _call_argument(node, 0, "body")
+            if target is None:
+                return
             if isinstance(target, ast.Name):
                 self.spawned_names.append(target.id)
             elif isinstance(target, ast.Lambda):
@@ -249,15 +268,19 @@ class _BodyAnalyzer(ast.NodeVisitor):
 
     def _handle_template_call(self, name: str, node: ast.Call) -> None:
         # The body argument position per template: for/reduce take it as
-        # the 4th/4th positional (ctx, start, stop, body), invoke takes
-        # every positional after ctx, pipeline takes a list of stages.
+        # the 4th positional (ctx, start, stop, body) or the ``body`` /
+        # ``map_body`` keyword, invoke takes every positional after ctx,
+        # pipeline takes a list of stages (3rd positional or ``stages``).
         candidates: List[ast.expr] = []
-        if name in ("parallel_for", "parallel_reduce") and len(node.args) >= 4:
-            candidates.append(node.args[3])
+        if name in ("parallel_for", "parallel_reduce"):
+            keyword = "body" if name == "parallel_for" else "map_body"
+            body = _call_argument(node, 3, keyword)
+            if body is not None:
+                candidates.append(body)
         elif name == "parallel_invoke":
             candidates.extend(node.args[1:])
-        elif name == "parallel_pipeline" and len(node.args) >= 3:
-            stages = node.args[2]
+        elif name == "parallel_pipeline":
+            stages = _call_argument(node, 2, "stages")
             if isinstance(stages, (ast.List, ast.Tuple)):
                 candidates.extend(stages.elts)
         for candidate in candidates:
@@ -308,30 +331,53 @@ def analyze_function(
     ctx_name = args.args[0].arg
     analyzer = _BodyAnalyzer({ctx_name}, result)
     analyzer.visit(node)
+    # The visitor registers the root def itself, so a self-spawn resolves
+    # locally; the node marker below keeps that from recursing forever.
+    visited.add(f"<local:{id(node)}>")
 
     module_globals = getattr(func, "__globals__", {})
+    _resolve_spawned(analyzer, module_globals, result, visited)
+    return result
+
+
+def _resolve_spawned(
+    analyzer: _BodyAnalyzer,
+    env_globals: Dict[str, Any],
+    result: StaticAccessSet,
+    visited: Set[str],
+) -> None:
+    """Fold every spawned body into *result*: nested ``def``s recurse to
+    any depth (grandchildren included), everything else resolves through
+    the defining module's globals."""
     for name in analyzer.spawned_names:
-        if name in analyzer.local_functions:
-            # Nested def: re-analyze its AST with its own ctx parameter.
-            child_node = analyzer.local_functions[name]
-            child_args = getattr(child_node, "args", None)
-            if child_args is not None and child_args.args:
-                child_result = StaticAccessSet()
-                child_analyzer = _BodyAnalyzer(
-                    {child_args.args[0].arg}, child_result
-                )
-                child_analyzer.visit(child_node)
-                result.merge(child_result)
-                for grandchild in child_analyzer.spawned_names:
-                    target = module_globals.get(grandchild)
-                    if callable(target):
-                        result.merge(analyze_function(target, visited))
-                    elif grandchild not in child_analyzer.local_functions:
-                        result.unresolved_tasks.append(grandchild)
+        local_node = analyzer.local_functions.get(name)
+        if local_node is not None:
+            _analyze_local_def(local_node, env_globals, result, visited)
             continue
-        target = module_globals.get(name)
+        target = env_globals.get(name)
         if callable(target):
             result.merge(analyze_function(target, visited))
         else:
             result.unresolved_tasks.append(name)
-    return result
+
+
+def _analyze_local_def(
+    node: ast.AST,
+    env_globals: Dict[str, Any],
+    result: StaticAccessSet,
+    visited: Set[str],
+) -> None:
+    """Analyze one nested ``def`` spawned as a task body."""
+    marker = f"<local:{id(node)}>"
+    if marker in visited:
+        return
+    visited.add(marker)
+    args = getattr(node, "args", None)
+    if args is None or not args.args:
+        result.unresolved_tasks.append(getattr(node, "name", "<nested>"))
+        return
+    child_result = StaticAccessSet()
+    child_analyzer = _BodyAnalyzer({args.args[0].arg}, child_result)
+    child_analyzer.visit(node)
+    result.merge(child_result)
+    _resolve_spawned(child_analyzer, env_globals, result, visited)

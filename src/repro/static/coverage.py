@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, List, Set, Tuple
 
+from repro.report import WRITE
 from repro.static.accesses import EXACT, AccessPattern, StaticAccessSet
 from repro.trace.trace import Trace
 
@@ -91,7 +92,7 @@ class CoverageReport:
         for pattern in self.imprecise:
             lines.append(f"  IMPRECISE {pattern.describe()}")
         for location, access_type in self.unpredicted:
-            letter = "W" if access_type == "write" else "R"
+            letter = "W" if access_type == WRITE else "R"
             lines.append(f"  UNPREDICTED {letter}({location!r})")
         if self.unresolved_tasks:
             lines.append(f"  UNRESOLVED TASKS: {self.unresolved_tasks}")

@@ -241,3 +241,76 @@ class TestCompare:
     def test_clean_program_exit_0(self, target_module, capsys):
         code = main(["compare", f"{target_module}:clean"])
         assert code == 0
+
+
+class TestLint:
+    def test_buggy_flagged(self, target_module, capsys):
+        code = main(["lint", f"{target_module}:buggy"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "SAV001" in out and "'X'" in out
+
+    def test_clean_has_no_errors(self, target_module, capsys):
+        code = main(["lint", f"{target_module}:clean"])
+        assert code == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_json_output(self, target_module, capsys):
+        import json
+
+        code = main(["lint", f"{target_module}:buggy", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert data["counts"]["errors"] >= 1
+        assert data["candidates"][0]["code"] == "SAV001"
+
+    def test_spec_file(self, tmp_path, capsys):
+        import json
+
+        spec = [
+            "task",
+            [["finish", [
+                ["spawn", [["access", "c", "read"], ["access", "c", "write"]]],
+                ["spawn", [["access", "c", "write"]]],
+            ]]],
+        ]
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        code = main(["lint", "--spec", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "SAV001" in out
+
+    def test_needs_exactly_one_target(self):
+        with pytest.raises(SystemExit):
+            main(["lint"])
+
+
+class TestStaticPrefilterFlag:
+    def test_check_refusal_is_printed(self, target_module, capsys):
+        # clean's tuple indices make the skeleton imprecise: the refusal
+        # (never a silent skip) must land in the output.
+        code = main(["check", f"{target_module}:clean", "--static-prefilter"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "static prefilter: disabled" in out
+
+    def test_check_prefilter_keeps_violation(self, target_module, capsys):
+        code = main(["check", f"{target_module}:buggy", "--static-prefilter"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "Atomicity violation" in out
+        assert "static prefilter" in out
+
+    def test_check_trace_prefilter_sharded(self, target_module, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        main(["record", f"{target_module}:buggy", "-o", str(trace)])
+        capsys.readouterr()
+        code = main([
+            "check-trace", str(trace), "--jobs", "2",
+            "--static-prefilter", f"{target_module}:buggy",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "Atomicity violation" in out
+        assert "static prefilter" in out

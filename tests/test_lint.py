@@ -1,0 +1,286 @@
+"""The ``repro lint`` pass and the sharded checker's static prefilter.
+
+Covers :mod:`repro.static.lint` / :mod:`repro.static.diagnostics`,
+:meth:`repro.session.CheckSession.lint`, ``static_prefilter=`` on
+:meth:`~repro.session.CheckSession.check`, and the acceptance criterion:
+on the 36-program suite the prefiltered check reports exactly what the
+unfiltered check reports, at ``jobs=1`` and ``jobs=4``.
+"""
+
+import pytest
+
+from repro.checker.annotations import AtomicAnnotations
+from repro.errors import TraceError
+from repro.obs import MetricsRecorder
+from repro.report import READ, WRITE
+from repro.runtime import TaskProgram, run_program
+from repro.session import CheckSession
+from repro.static import lint_function, lint_program, lint_spec
+from repro.static.diagnostics import ERROR, RULES, WARNING
+from repro.suite import all_cases
+
+# -- module-level task bodies ------------------------------------------------
+
+
+def _increment(ctx):
+    value = ctx.read("counter")
+    ctx.write("counter", value + 1)
+
+
+def _lost_update(ctx):
+    ctx.write("counter", 0)
+    ctx.spawn(_increment)
+    ctx.spawn(_increment)
+    ctx.sync()
+
+
+def _locked_increment(ctx):
+    with ctx.lock("L"):
+        value = ctx.read("counter")
+        ctx.write("counter", value + 1)
+
+
+def _locked_update(ctx):
+    ctx.write("counter", 0)
+    ctx.spawn(_locked_increment)
+    ctx.spawn(_locked_increment)
+    ctx.sync()
+
+
+def _serial_only(ctx):
+    ctx.write("y", 1)
+    ctx.spawn(_reader)
+    ctx.sync()
+    ctx.write("y", 2)
+
+
+def _reader(ctx):
+    ctx.read("x")
+
+
+def _dynamic_index(ctx):
+    for i in range(3):
+        ctx.spawn(lambda c, i=i: c.write(("cell", i), 1))
+    ctx.sync()
+
+
+# -- the lint pass -----------------------------------------------------------
+
+
+class TestLintCandidates:
+    def test_lost_update_flagged_exactly(self):
+        report = lint_function(_lost_update)
+        assert report.has_errors
+        codes = {c.code for c in report.candidates}
+        assert codes == {"SAV001"}
+        assert {c.location for c in report.candidates} == {"counter"}
+        patterns = {c.pattern for c in report.candidates}
+        assert patterns <= {"RWR", "RWW", "WRW", "WWR", "WWW"}
+
+    def test_lock_protection_suppresses_candidates(self):
+        report = lint_function(_locked_update)
+        assert not report.candidates
+        assert not report.has_errors
+
+    def test_spec_front_end(self):
+        spec = (
+            "task",
+            (
+                ("finish", (
+                    ("spawn", (
+                        ("access", "c", READ),
+                        ("access", "c", WRITE),
+                    )),
+                    ("spawn", (("access", "c", WRITE),)),
+                )),
+            ),
+        )
+        report = lint_spec(spec)
+        assert report.has_errors
+        assert any(c.exact for c in report.candidates)
+
+    def test_serial_program_is_clean_and_provable(self):
+        report = lint_function(_serial_only)
+        assert not report.diagnostics
+        assert report.prefilter_safe
+        assert report.prefilter_locations() == frozenset({"x", "y"})
+
+    def test_imprecise_skeleton_disables_prefilter(self):
+        report = lint_function(_dynamic_index)
+        assert not report.prefilter_safe
+        assert report.prefilter_locations() == frozenset()
+
+    def test_report_dict_shape(self):
+        data = lint_function(_lost_update).to_dict()
+        assert data["counts"]["errors"] >= 1
+        assert data["exact_skeleton"] is True
+        assert data["candidates"]
+        entry = data["candidates"][0]
+        assert entry["code"] == "SAV001"
+        assert all(code in RULES for d in data["diagnostics"]
+                   for code in [d["code"]])
+
+    def test_rule_catalog_is_complete(self):
+        assert "SAV001" in RULES and "SAV002" in RULES
+        severities = {severity for severity, _ in RULES.values()}
+        assert severities <= {ERROR, WARNING, "info"}
+
+    def test_lint_program_accepts_taskprogram(self):
+        report = lint_program(TaskProgram(_lost_update, name="lost"))
+        assert report.has_errors
+        assert "lost" in report.target
+
+
+class TestLintWorkloads:
+    def test_buggy_workloads_have_candidates(self):
+        from repro.workloads.buggy import build_swaptions_unlocked
+
+        report = lint_program(build_swaptions_unlocked())
+        assert report.has_errors
+        assert {c.location for c in report.candidates if c.exact} == {
+            ("sum",), ("sum2",)
+        }
+
+    def test_clean_workloads_have_no_errors(self):
+        from repro.workloads import all_workloads
+
+        for spec in all_workloads():
+            report = lint_program(spec.build(spec.test_scale))
+            assert not report.has_errors, (
+                f"{spec.name}: {[d.describe() for d in report.errors]}"
+            )
+
+
+# -- CheckSession integration ------------------------------------------------
+
+
+class TestSessionLint:
+    def test_program_source_lints_and_caches(self):
+        session = CheckSession(TaskProgram(_lost_update))
+        report = session.lint()
+        assert report.has_errors
+        assert session.lint() is report
+
+    def test_offline_source_needs_explicit_target(self):
+        trace = run_program(TaskProgram(_serial_only), record_trace=True).trace
+        session = CheckSession(trace)
+        with pytest.raises(TraceError, match="program text"):
+            session.lint()
+        assert session.lint(_serial_only).prefilter_safe
+
+    def test_lint_counters_recorded(self):
+        recorder = MetricsRecorder()
+        session = CheckSession(TaskProgram(_lost_update), recorder=recorder)
+        session.lint()
+        counters = recorder.snapshot().counters
+        assert counters["static.lint.runs"] == 1
+        assert counters["static.lint.errors"] >= 1
+        assert counters["static.lint.candidates"] >= 1
+
+
+class TestPrefilter:
+    def test_applied_on_serial_program(self):
+        recorder = MetricsRecorder()
+        session = CheckSession(TaskProgram(_serial_only), recorder=recorder)
+        report = session.check(static_prefilter=True)
+        assert not report
+        info = session.prefilter_info
+        assert info["applied"]
+        assert len(info["locations"]) == 2
+        counters = recorder.snapshot().counters
+        assert counters["static.prefilter.locations"] == 2
+        assert counters["static.prefilter.events_skipped"] == 3
+
+    def test_never_silent_when_refused(self):
+        recorder = MetricsRecorder()
+        session = CheckSession(TaskProgram(_dynamic_index), recorder=recorder)
+        session.check(static_prefilter=True)
+        info = session.prefilter_info
+        assert not info["applied"]
+        assert "not exact" in info["reason"]
+        assert recorder.snapshot().counters["static.prefilter.disabled"] == 1
+
+    def test_refused_under_grouped_annotations(self):
+        annotations = AtomicAnnotations(check_all=True)
+        annotations.annotate_group("pair", ["x", "y"])
+        session = CheckSession(
+            TaskProgram(_serial_only), annotations=annotations
+        )
+        session.check(static_prefilter=True)
+        assert not session.prefilter_info["applied"]
+        assert "annotations" in session.prefilter_info["reason"]
+
+    def test_offline_trace_with_explicit_body(self):
+        trace = run_program(TaskProgram(_serial_only), record_trace=True).trace
+        session = CheckSession(trace)
+        report = session.check(static_prefilter=_serial_only)
+        assert not report
+        assert session.prefilter_info["applied"]
+
+    def test_violations_never_masked(self):
+        baseline = CheckSession(TaskProgram(_lost_update)).check()
+        session = CheckSession(TaskProgram(_lost_update))
+        filtered = session.check(static_prefilter=True)
+        assert set(filtered.locations()) == set(baseline.locations()) == {
+            "counter"
+        }
+
+
+# -- acceptance: the 36-program suite ----------------------------------------
+
+
+CASES = all_cases()
+
+
+class TestSuiteEquivalence:
+    @pytest.mark.parametrize("case", CASES, ids=[c.name for c in CASES])
+    def test_prefilter_matches_unfiltered_jobs1(self, case):
+        baseline = set(CheckSession(case.build()).check().locations())
+        session = CheckSession(case.build())
+        filtered = set(session.check(static_prefilter=True).locations())
+        assert filtered == baseline
+        assert session.prefilter_info["requested"]
+
+    def test_prefilter_matches_unfiltered_jobs4(self):
+        for case in CASES:
+            baseline = set(
+                CheckSession(case.build(), jobs=4).check().locations()
+            )
+            session = CheckSession(case.build(), jobs=4)
+            filtered = set(
+                session.check(static_prefilter=True).locations()
+            )
+            assert filtered == baseline, case.name
+
+    def test_prefilter_actually_fires_somewhere(self):
+        """The equivalence above must not hold vacuously: some suite
+        cases get locations proven serial and events dropped."""
+        fired = 0
+        for case in CASES:
+            recorder = MetricsRecorder()
+            session = CheckSession(case.build(), recorder=recorder)
+            session.check(static_prefilter=True)
+            info = session.prefilter_info
+            if info["applied"] and info["locations"]:
+                counters = recorder.snapshot().counters
+                if counters.get("static.prefilter.events_skipped", 0):
+                    fired += 1
+        assert fired >= 3
+
+    def test_skip_accounting_matches_across_jobs(self):
+        """events_skipped totals are shard-stable (parent-side for
+        in-memory sources, summed worker-side for file streams)."""
+        case = next(c for c in CASES if not c.violating)
+        totals = []
+        for jobs in (1, 4):
+            recorder = MetricsRecorder()
+            session = CheckSession(
+                case.build(), jobs=jobs, recorder=recorder
+            )
+            session.check(static_prefilter=True)
+            totals.append(
+                recorder.snapshot().counters.get(
+                    "static.prefilter.events_skipped", 0
+                )
+            )
+        assert totals[0] == totals[1]

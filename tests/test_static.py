@@ -206,3 +206,111 @@ class TestPatternMatching:
         assert AccessPattern(EXACT, "X", WRITE).describe() == "W('X')"
         assert AccessPattern(PREFIX, "g", READ).describe() == "R(('g', *))"
         assert AccessPattern(UNKNOWN, None, READ).describe() == "R(?)"
+
+
+# -- keyword arguments and analyze_function edge cases -----------------------
+
+
+def _kwarg_accessor(ctx):
+    ctx.write(location="kw_w", value=1)
+    ctx.read(location="kw_r")
+    ctx.add(location="kw_a", delta=1)
+    ctx.update(location="kw_u", fn=lambda v: v)
+
+
+def _kwarg_spawner(ctx):
+    ctx.spawn(body=_kwarg_accessor)
+    ctx.sync()
+
+
+def _kwarg_template(ctx):
+    from repro.runtime import parallel_for, parallel_pipeline, parallel_reduce
+
+    parallel_for(ctx, 0, 4, body=_kwarg_accessor)
+    parallel_reduce(ctx, 0, 4, map_body=_reduce_body, combine=max, identity=0)
+    parallel_pipeline(ctx, [1, 2], stages=[_stage])
+
+
+def _reduce_body(ctx, i):
+    return ctx.read("reduce_src")
+
+
+def _stage(ctx, item):
+    ctx.write("stage_out", item)
+
+
+def _lambda_spawner(ctx):
+    ctx.spawn(lambda c: c.write("from_lambda", 1))
+    ctx.sync()
+
+
+def _grandchild_defs(ctx):
+    def child(c):
+        def grandchild(cc):
+            cc.write("deep", 1)
+
+        c.spawn(grandchild)
+        c.sync()
+
+    ctx.spawn(child)
+    ctx.sync()
+
+
+def _mutual_a(ctx):
+    ctx.write("ping", 1)
+    ctx.spawn(_mutual_b)
+    ctx.sync()
+
+
+def _mutual_b(ctx):
+    ctx.write("pong", 1)
+    ctx.spawn(_mutual_a)
+    ctx.sync()
+
+
+class TestKeywordArguments:
+    """Regression: the analyzer used to see positional arguments only."""
+
+    def test_access_location_kwargs(self):
+        result = analyze_function(_kwarg_accessor)
+        assert result.may_access("kw_w", WRITE)
+        assert result.may_access("kw_r", READ)
+        # RMW helpers count both ways, kwargs included.
+        assert result.may_access("kw_a", READ)
+        assert result.may_access("kw_a", WRITE)
+        assert result.may_access("kw_u", WRITE)
+
+    def test_spawn_body_kwarg(self):
+        result = analyze_function(_kwarg_spawner)
+        assert result.may_access("kw_w", WRITE)
+        assert not result.unresolved_tasks
+
+    def test_template_body_kwargs(self):
+        result = analyze_function(_kwarg_template)
+        assert result.may_access("kw_w", WRITE)
+        assert result.may_access("reduce_src", READ)
+        assert result.may_access("stage_out", WRITE)
+
+
+class TestAnalyzeFunctionEdgeCases:
+    def test_lambda_spawn_body(self):
+        result = analyze_function(_lambda_spawner)
+        assert result.may_access("from_lambda", WRITE)
+        assert not result.unresolved_tasks
+
+    def test_nested_def_grandchildren(self):
+        result = analyze_function(_grandchild_defs)
+        assert result.may_access("deep", WRITE)
+
+    def test_rmw_literal_produces_read_and_write(self):
+        def rmw(ctx):
+            ctx.add("acc", 2)
+
+        kinds = {(p.location, p.access_type) for p in analyze_function(rmw).patterns}
+        assert ("acc", READ) in kinds
+        assert ("acc", WRITE) in kinds
+
+    def test_mutual_recursion_terminates(self):
+        result = analyze_function(_mutual_a)
+        assert result.may_access("ping", WRITE)
+        assert result.may_access("pong", WRITE)

@@ -1,0 +1,257 @@
+"""The static series-parallel skeleton and its MHP index.
+
+Covers :mod:`repro.static.structure` (spec and AST front ends, the
+runtime's frame rules replayed lexically) and :mod:`repro.static.mhp`
+(the DPST LCA rule applied to the static tree).
+"""
+
+import pytest
+
+from repro.report import READ, WRITE
+from repro.static.mhp import MHPIndex
+from repro.static.structure import (
+    ASYNC,
+    FINISH,
+    STEP,
+    skeleton_from_function,
+    skeleton_from_spec,
+)
+
+# -- module-level task bodies (inspect.getsource needs real files) -----------
+
+
+def _fork_join(ctx):
+    ctx.write("x", 0)
+    ctx.spawn(_reader)
+    ctx.spawn(_reader)
+    ctx.sync()
+    ctx.read("x")
+
+
+def _reader(ctx):
+    ctx.read("x")
+
+
+def _finish_scope(ctx):
+    with ctx.finish():
+        ctx.spawn(_reader)
+        ctx.spawn(_reader)
+    ctx.write("x", 1)
+
+
+def _loop_spawner(ctx):
+    for _ in range(4):
+        ctx.spawn(_reader)
+    ctx.sync()
+
+
+def _loop_fork_join(ctx):
+    for _ in range(4):
+        ctx.spawn(_reader)
+        ctx.sync()
+
+
+def _locked_writer(ctx):
+    with ctx.lock("L"):
+        ctx.write("x", 1)
+    with ctx.lock("L"):
+        ctx.write("x", 2)
+
+
+def _helper(ctx):
+    ctx.write("h", 1)
+
+
+def _inliner(ctx):
+    _helper(ctx)
+    ctx.spawn(_reader)
+    ctx.sync()
+
+
+def _recursive(ctx):
+    ctx.write("r", 1)
+    ctx.spawn(_recursive)
+    ctx.sync()
+
+
+def _escaper(ctx):
+    _unknown_sink(ctx)
+    ctx.write("x", 1)
+
+
+def _unknown_sink(*args, **kwargs):  # not ctx-first-arg inlinable: no body ctx use
+    return args, kwargs
+
+
+def _conditional_sync(ctx):
+    ctx.spawn(_reader)
+    if ctx.read("flag"):
+        ctx.sync()
+
+
+def _template_user(ctx):
+    from repro.runtime import parallel_for
+
+    parallel_for(ctx, 0, 8, _reader)
+
+
+def _steps_accessing(skeleton, location):
+    return sorted(
+        {access.step.index for access in skeleton.accesses
+         if access.location == location}
+    )
+
+
+# -- spec front end ----------------------------------------------------------
+
+
+class TestSpecSkeleton:
+    SPEC = (
+        "task",
+        (
+            ("access", "a", WRITE),
+            ("finish", (
+                ("spawn", (("access", "a", WRITE),)),
+                ("spawn", (("access", "a", READ),)),
+            )),
+            ("access", "a", READ),
+        ),
+    )
+
+    def test_structure_and_exactness(self):
+        skeleton = skeleton_from_spec(self.SPEC)
+        assert skeleton.is_exact
+        kinds = [node.kind for node in skeleton.nodes]
+        assert kinds.count(ASYNC) == 2
+        assert kinds.count(FINISH) >= 1
+        assert len(skeleton.steps()) == 4  # pre, two spawn bodies, post
+
+    def test_mhp_fork_join(self):
+        skeleton = skeleton_from_spec(self.SPEC)
+        mhp = MHPIndex(skeleton)
+        steps = skeleton.steps()
+        pre, body1, body2, post = steps
+        assert mhp.parallel(body1, body2)
+        assert mhp.serial(pre, body1)       # parent prefix precedes spawn
+        assert mhp.serial(body1, post)      # finish joins before the tail
+        assert not mhp.self_parallel(body1)
+
+    def test_locked_spec_builds_locksets(self):
+        spec = (
+            "task",
+            (
+                ("locked", "L", (("access", "x", WRITE),)),
+                ("locked", "L", (("access", "x", WRITE),)),
+            ),
+        )
+        skeleton = skeleton_from_spec(spec)
+        locksets = [access.lockset for access in skeleton.accesses]
+        assert all(len(ls) == 1 for ls in locksets)
+        # Lock versioning: re-entry mints a fresh version, so two
+        # critical sections never spuriously protect a pattern.
+        assert locksets[0].isdisjoint(locksets[1])
+
+    def test_bad_spec_item(self):
+        with pytest.raises(ValueError):
+            skeleton_from_spec(("task", (("teleport", "X"),)))
+
+
+# -- AST front end: the runtime's frame rules --------------------------------
+
+
+class TestAstSkeleton:
+    def test_fork_join_shape(self):
+        skeleton = skeleton_from_function(_fork_join)
+        assert skeleton.is_exact, skeleton.notes
+        mhp = MHPIndex(skeleton)
+        x_steps = [skeleton.nodes[i] for i in _steps_accessing(skeleton, "x")]
+        pre, r1, r2, post = x_steps
+        assert mhp.parallel(r1, r2)
+        assert mhp.serial(pre, r1)
+        assert mhp.serial(r2, post)
+
+    def test_finish_scope_joins(self):
+        skeleton = skeleton_from_function(_finish_scope)
+        assert skeleton.is_exact, skeleton.notes
+        mhp = MHPIndex(skeleton)
+        reads = [a.step for a in skeleton.accesses if a.access_type == READ]
+        write = next(a.step for a in skeleton.accesses if a.access_type == WRITE)
+        assert mhp.parallel(reads[0], reads[1])
+        assert all(mhp.serial(read, write) for read in reads)
+
+    def test_loop_unrolled_twice(self):
+        """Loop bodies are walked twice so cross-iteration parallelism
+        (spawns without an in-loop sync) is visible."""
+        skeleton = skeleton_from_function(_loop_spawner)
+        mhp = MHPIndex(skeleton)
+        reads = [a.step for a in skeleton.accesses if a.location == "x"]
+        assert len(reads) == 2
+        assert mhp.parallel(reads[0], reads[1])
+
+    def test_loop_with_inner_sync_is_serial(self):
+        skeleton = skeleton_from_function(_loop_fork_join)
+        mhp = MHPIndex(skeleton)
+        reads = [a.step for a in skeleton.accesses if a.location == "x"]
+        assert len(reads) == 2
+        assert mhp.serial(reads[0], reads[1])
+
+    def test_lock_versioning_across_scopes(self):
+        skeleton = skeleton_from_function(_locked_writer)
+        assert skeleton.is_exact, skeleton.notes
+        first, second = [a.lockset for a in skeleton.accesses]
+        assert first and second
+        assert first.isdisjoint(second)
+
+    def test_helper_call_inlined(self):
+        skeleton = skeleton_from_function(_inliner)
+        locations = {a.location for a in skeleton.accesses}
+        assert locations == {"h", "x"}
+        assert skeleton.is_exact, skeleton.notes
+
+    def test_recursive_spawn_is_self_parallel(self):
+        skeleton = skeleton_from_function(_recursive)
+        assert skeleton.recursive_markers
+        mhp = MHPIndex(skeleton)
+        writes = [a.step for a in skeleton.accesses if a.location == "r"]
+        assert any(mhp.self_parallel(step) for step in writes)
+
+    def test_ctx_escape_voids_exactness(self):
+        skeleton = skeleton_from_function(_escaper)
+        assert not skeleton.is_exact
+        assert any(note.kind == "ctx-escape" for note in skeleton.notes)
+
+    def test_conditional_sync_noted(self):
+        """A sync that may not pair with its spawn (different region) is
+        ignored with a note.  The spawn stays unjoined -- extra *static*
+        parallelism, the conservative direction for serial-location
+        proofs -- so the skeleton itself stays exact."""
+        skeleton = skeleton_from_function(_conditional_sync)
+        assert any(note.kind == "conditional-sync" for note in skeleton.notes)
+        assert skeleton.is_exact
+        mhp = MHPIndex(skeleton)
+        spawned = next(a.step for a in skeleton.accesses if a.location == "x")
+        flag = next(a.step for a in skeleton.accesses if a.location == "flag")
+        assert mhp.parallel(spawned, flag)
+
+    def test_parallel_for_template(self):
+        skeleton = skeleton_from_function(_template_user)
+        mhp = MHPIndex(skeleton)
+        reads = [a.step for a in skeleton.accesses if a.location == "x"]
+        assert len(reads) == 2  # the template models two representative bodies
+        assert mhp.parallel(reads[0], reads[1])
+
+    def test_budget_exceeded_degrades_gracefully(self):
+        skeleton = skeleton_from_function(_fork_join, budget=3)
+        assert any(note.kind == "budget-exceeded" for note in skeleton.notes)
+        assert not skeleton.is_exact
+
+    def test_access_set_interop(self):
+        """The skeleton projects to the flat StaticAccessSet shape used
+        by trace-coverage validation."""
+        access_set = skeleton_from_function(_fork_join).access_set()
+        assert access_set.may_access("x", WRITE)
+        assert access_set.may_access("x", READ)
+
+    def test_describe_renders_tree(self):
+        text = skeleton_from_function(_fork_join).describe()
+        assert STEP in text and ASYNC in text
