@@ -42,6 +42,7 @@ schedule-serial.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 import time
@@ -49,6 +50,14 @@ from typing import Any, Hashable, Iterable, List, Optional, Sequence, Tuple, Uni
 
 from repro.checker import checker_name_of, make_checker
 from repro.checker.annotations import AtomicAnnotations
+from repro.checker.supervisor import (
+    CheckpointStore,
+    ShardOutcome,
+    ShardTask,
+    WorkerPolicy,
+    maybe_inject_fault,
+    run_supervised,
+)
 from repro.errors import CheckerError, TraceError
 from repro.report import ViolationReport
 from repro.runtime.events import MemoryEvent
@@ -178,10 +187,11 @@ def _worker_snapshot(recorder, elapsed: float):
 
 
 def _check_shard_events(
-    args: Tuple[Any, ...]
+    payload: Tuple[Any, ...], attempt: int = 0
 ) -> Tuple[ViolationReport, Optional[dict]]:
     """Replay one pre-partitioned shard of in-memory events."""
     (
+        shard_id,
         dpst_dict,
         events,
         spec,
@@ -189,7 +199,8 @@ def _check_shard_events(
         lca_cache,
         parallel_engine,
         collect,
-    ) = args
+    ) = payload
+    maybe_inject_fault(shard_id, attempt)
     dpst = None if dpst_dict is None else dpst_from_dict(dpst_dict)
     recorder = _worker_recorder(collect)
     started = time.perf_counter()
@@ -206,12 +217,12 @@ def _check_shard_events(
 
 
 def _check_shard_from_file(
-    args: Tuple[Any, ...]
+    payload: Tuple[Any, ...], attempt: int = 0
 ) -> Tuple[ViolationReport, Optional[dict]]:
     """Stream a trace file and replay only this worker's shard."""
     (
+        shard_id,
         path,
-        shard,
         jobs,
         spec,
         annotations,
@@ -219,51 +230,90 @@ def _check_shard_from_file(
         parallel_engine,
         collect,
         skip_locations,
-    ) = args
-    reader = open_trace(path)
-    keyed = annotations is not None and not annotations.trivial
+        strict,
+    ) = payload
+    maybe_inject_fault(shard_id, attempt)
+    reader = TraceReader(path, strict=strict)
+    try:
+        keyed = annotations is not None and not annotations.trivial
 
-    if keyed:
-        # Group-aware key: the line's "sk" stamp (raw location) may not
-        # match metadata_key, so decode every line and re-key.
-        def shard_stream():
-            for event in reader.memory_events():
-                key = annotations.metadata_key(event.location)
-                if shard_for_location(key, jobs) == shard:
-                    yield event
+        if keyed:
+            # Group-aware key: the line's "sk" stamp (raw location) may
+            # not match metadata_key, so decode every line and re-key.
+            def shard_stream():
+                for event in reader.memory_events():
+                    key = annotations.metadata_key(event.location)
+                    if shard_for_location(key, jobs) == shard_id:
+                        yield event
 
-        events = shard_stream()
-    else:
-        # Fast path: the reader shard-filters raw lines by their "sk"
-        # stamp, so this worker only JSON-decodes its own 1/jobs slice.
-        events = reader.memory_events(shard=shard, jobs=jobs)
+            events = shard_stream()
+        else:
+            # Fast path: the reader shard-filters raw lines by their "sk"
+            # stamp, so this worker only JSON-decodes its own 1/jobs slice.
+            events = reader.memory_events(shard=shard_id, jobs=jobs)
 
-    recorder = _worker_recorder(collect)
-    if skip_locations:
-        # Each worker drops its own shard's skipped events (the parent
-        # never sees the stream), counting into its private snapshot.
-        events = filter_skipped(events, skip_locations, recorder)
-    started = time.perf_counter()
-    report = replay_memory_events(
-        events,
-        _fresh_checker(spec),
-        dpst=reader.dpst,
-        annotations=annotations,
-        lca_cache=lca_cache,
-        parallel_engine=parallel_engine,
-        recorder=recorder,
-    )
-    return report, _worker_snapshot(recorder, time.perf_counter() - started)
+        recorder = _worker_recorder(collect)
+        if skip_locations:
+            # Each worker drops its own shard's skipped events (the parent
+            # never sees the stream), counting into its private snapshot.
+            events = filter_skipped(events, skip_locations, recorder)
+        started = time.perf_counter()
+        report = replay_memory_events(
+            events,
+            _fresh_checker(spec),
+            dpst=reader.dpst,
+            annotations=annotations,
+            lca_cache=lca_cache,
+            parallel_engine=parallel_engine,
+            recorder=recorder,
+        )
+        # Every worker scans (and in lenient mode skips) the same
+        # unstamped garbage lines; shard 0 alone reports the count so
+        # jobs=1 and jobs=N totals agree.
+        if recorder is not None and shard_id == 0 and reader.lines_skipped:
+            recorder.count("trace.lines_skipped", reader.lines_skipped)
+        return report, _worker_snapshot(recorder, time.perf_counter() - started)
+    finally:
+        reader.close()
 
 
-def _pool_context():
-    """Prefer fork (cheap, inherits the interpreter); fall back to default."""
+def _mp_context(start_method: Optional[str] = None):
+    """Resolve the multiprocessing context for worker processes.
+
+    Prefers fork (cheap, inherits the already-imported interpreter);
+    an explicit *start_method* -- or the ``REPRO_START_METHOD``
+    environment variable, which the CI matrix uses to run the test
+    suite under spawn -- overrides.  All worker payloads are picklable,
+    so every start method produces identical reports; an unpicklable
+    *checker instance* surfaces as a :class:`CheckerError` from the
+    supervisor, not a pickle traceback.
+    """
+    if start_method is None:
+        start_method = os.environ.get("REPRO_START_METHOD") or None
     methods = multiprocessing.get_all_start_methods()
+    if start_method is not None:
+        if start_method not in methods:
+            raise CheckerError(
+                f"start method {start_method!r} is not available on this "
+                f"platform (have: {', '.join(methods)})"
+            )
+        return multiprocessing.get_context(start_method)
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
 def default_jobs() -> int:
-    """Default worker count: one per CPU."""
+    """Default worker count: one per *usable* CPU.
+
+    ``os.sched_getaffinity`` reflects cgroup and affinity limits --
+    CI containers routinely expose 2 usable cores on a 64-core host,
+    where ``os.cpu_count()`` would oversubscribe 32x.  Platforms
+    without it (macOS) fall back to ``cpu_count``.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except OSError:  # pragma: no cover - exotic platform behavior
+            pass
     return os.cpu_count() or 1
 
 
@@ -276,6 +326,14 @@ def check_sharded(
     parallel_engine: str = "lca",
     recorder=None,
     skip_locations: SkipLocations = None,
+    on_shard_failure: str = "retry",
+    max_retries: int = 2,
+    retry_backoff: float = 0.05,
+    shard_timeout: Optional[float] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    strict: Optional[bool] = None,
+    start_method: Optional[str] = None,
 ) -> ViolationReport:
     """Check *source* with ``jobs`` parallel per-location shards.
 
@@ -290,8 +348,8 @@ def check_sharded(
         checker class, or a pre-built instance.  With ``jobs > 1`` the
         checker must be ``location_sharded``.
     jobs:
-        Worker process count; ``None`` means one per CPU; ``1`` checks
-        in-process with no multiprocessing at all.
+        Worker process count; ``None`` means one per usable CPU (cgroup
+        aware); ``1`` checks in-process with no multiprocessing at all.
     annotations / lca_cache / parallel_engine:
         Forwarded to replay; annotations also steer the sharding key so
         multi-variable groups stay together.
@@ -308,6 +366,29 @@ def check_sharded(
         silently).  Soundness is the caller's responsibility -- use
         :meth:`repro.session.CheckSession.check` with
         ``static_prefilter=...`` for the safety-gated path.
+    on_shard_failure / max_retries / retry_backoff / shard_timeout:
+        The fault-tolerance policy (see
+        :class:`~repro.checker.supervisor.WorkerPolicy`): a crashed,
+        erroring, or timed-out worker is retried with exponential
+        backoff (``"retry"``, the default), degraded to in-process
+        checking after the retries (``"inline"``), or aborts the run
+        immediately (``"raise"``).  ``shard_timeout`` bounds one
+        attempt's wall-clock seconds; ``None`` means no timeout.
+    checkpoint_dir / resume:
+        With *checkpoint_dir*, every completed shard's report (+ metrics
+        snapshot) is persisted as JSON under that directory; with
+        ``resume=True`` shards already checkpointed by a compatible
+        earlier run (same jobs count and checker) are merged from disk
+        instead of re-run, reproducing the fresh-run report exactly.
+    strict:
+        ``False`` turns on lenient trace ingestion for file sources
+        (undecodable JSONL lines are counted as ``trace.lines_skipped``
+        and skipped, never silently); ``None`` inherits the reader's
+        own mode (``True`` for paths).
+    start_method:
+        Multiprocessing start method override (``"fork"``/``"spawn"``/
+        ``"forkserver"``); default prefers fork, and the
+        ``REPRO_START_METHOD`` environment variable overrides too.
 
     Returns the merged, deduplicated :class:`ViolationReport`.
     """
@@ -316,11 +397,16 @@ def check_sharded(
         raise TraceError(f"jobs must be >= 1, got {jobs}")
     if skip_locations is not None and not skip_locations:
         skip_locations = None
-    if skip_locations and recorder is not None and recorder.enabled:
+    collect = recorder is not None and recorder.enabled
+    if skip_locations and collect:
         recorder.count("static.prefilter.locations", len(skip_locations))
 
+    owned_reader: Optional[TraceReader] = None
     if isinstance(source, (str, os.PathLike)):
-        reader: Optional[TraceReader] = open_trace(source)
+        reader: Optional[TraceReader] = open_trace(
+            source, strict=True if strict is None else strict
+        )
+        owned_reader = reader
         path: Optional[str] = reader.path
         trace: Optional[Trace] = None
     elif isinstance(source, TraceReader):
@@ -336,63 +422,95 @@ def check_sharded(
             f"cannot check {type(source).__name__}: expected a Trace, "
             "a TraceReader, or a trace file path"
         )
+    if strict is None:
+        strict = reader.strict if reader is not None else True
 
-    if jobs == 1:
-        events: Iterable[MemoryEvent]
-        if trace is not None:
-            events, dpst = trace.memory_events(), trace.dpst
-        else:
-            events, dpst = reader.memory_events(), reader.dpst
-        if skip_locations:
-            events = filter_skipped(events, skip_locations, recorder)
-        return replay_memory_events(
-            events,
-            make_checker(checker),
-            dpst=dpst,
-            annotations=annotations,
-            lca_cache=lca_cache,
-            parallel_engine=parallel_engine,
-            recorder=recorder,
+    store: Optional[CheckpointStore] = None
+    if checkpoint_dir is not None:
+        store = CheckpointStore(
+            checkpoint_dir,
+            jobs=jobs,
+            checker=checker_name_of(checker),
+            source=path,
+            resume=resume,
         )
 
-    _require_shardable(checker)
-    collect = recorder is not None and recorder.enabled
-    if collect:
-        return _check_sharded_recorded(
-            trace, reader, path, checker, jobs, annotations,
-            lca_cache, parallel_engine, recorder, skip_locations,
+    try:
+        if jobs == 1:
+            return _check_single(
+                trace, reader, checker, annotations, lca_cache,
+                parallel_engine, recorder, skip_locations, store, collect,
+            )
+        _require_shardable(checker)
+        policy = WorkerPolicy(
+            on_failure=on_shard_failure,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            timeout_s=shard_timeout,
         )
-    context = _pool_context()
-    if trace is not None:
-        source_events: Iterable[object] = trace.events
-        if skip_locations:
-            # In-memory: the parent partitions, so the parent filters.
-            source_events = filter_skipped(source_events, skip_locations)
-        shards = partition_memory_events(source_events, jobs, annotations)
-        dpst_dict = None if trace.dpst is None else dpst_to_dict(trace.dpst)
-        work = [
-            (dpst_dict, shard, checker, annotations, lca_cache, parallel_engine, False)
-            for shard in shards
-            if shard
-        ]
-        if not work:
-            return ViolationReport()
-        with context.Pool(processes=min(jobs, len(work))) as pool:
-            results = pool.map(_check_shard_events, work)
-    else:
-        work = [
-            (path, shard, jobs, checker, annotations, lca_cache,
-             parallel_engine, False, skip_locations)
-            for shard in range(jobs)
-        ]
-        with context.Pool(processes=jobs) as pool:
-            results = pool.map(_check_shard_from_file, work)
-    return ViolationReport.merge([report for report, _ in results])
+        return _check_supervised(
+            trace, path, checker, jobs, annotations, lca_cache,
+            parallel_engine, recorder, skip_locations, strict,
+            policy, store, _mp_context(start_method), collect,
+        )
+    finally:
+        # A worker raising must not leak the handles of a reader this
+        # driver opened; readers passed in stay the caller's to close.
+        if owned_reader is not None:
+            owned_reader.close()
 
 
-def _check_sharded_recorded(
+def _check_single(
     trace: Optional[Trace],
     reader: Optional[TraceReader],
+    checker: CheckerSpec,
+    annotations: Optional[AtomicAnnotations],
+    lca_cache: bool,
+    parallel_engine: str,
+    recorder,
+    skip_locations: SkipLocations,
+    store,
+    collect: bool,
+) -> ViolationReport:
+    """``jobs=1``: in-process replay, with optional checkpointing.
+
+    Checkpointing treats the whole run as shard 0, so
+    ``--checkpoint/--resume`` behave uniformly across job counts.
+    """
+    if store is not None:
+        cached = store.load(0)
+        if cached is not None:
+            if collect:
+                recorder.count("sharded.resumed_shards")
+            return cached[0]
+    events: Iterable[MemoryEvent]
+    if trace is not None:
+        events, dpst = trace.memory_events(), trace.dpst
+    else:
+        events, dpst = reader.memory_events(), reader.dpst
+    if skip_locations:
+        events = filter_skipped(events, skip_locations, recorder)
+    skipped_before = reader.lines_skipped if reader is not None else 0
+    report = replay_memory_events(
+        events,
+        make_checker(checker),
+        dpst=dpst,
+        annotations=annotations,
+        lca_cache=lca_cache,
+        parallel_engine=parallel_engine,
+        recorder=recorder,
+    )
+    if collect and reader is not None:
+        skipped = reader.lines_skipped - skipped_before
+        if skipped:
+            recorder.count("trace.lines_skipped", skipped)
+    if store is not None:
+        store.store(0, report, None)
+    return report
+
+
+def _check_supervised(
+    trace: Optional[Trace],
     path: Optional[str],
     checker: CheckerSpec,
     jobs: int,
@@ -400,63 +518,135 @@ def _check_sharded_recorded(
     lca_cache: bool,
     parallel_engine: str,
     recorder,
-    skip_locations: SkipLocations = None,
+    skip_locations: SkipLocations,
+    strict: bool,
+    policy: WorkerPolicy,
+    store,
+    context,
+    collect: bool,
 ) -> ViolationReport:
-    """The ``jobs > 1`` path with observability on.
+    """The ``jobs > 1`` path: supervised workers, checkpoints, metrics.
 
-    Identical control flow to the plain path, wrapped in the canonical
-    spans (``sharded`` > ``partition`` / ``map`` / ``merge``) and folding
-    per-shard snapshots into *recorder*.  Kept separate so the disabled
-    path carries no span bookkeeping at all.
+    One control flow for the observed and unobserved configurations --
+    spans and counters are per-phase, so gating them on *collect* keeps
+    the disabled path free of measurable overhead.
     """
-    from repro.obs import SPAN_MAP, SPAN_MERGE, SPAN_PARTITION, SPAN_SHARDED
+    if collect:
+        from repro.obs import SPAN_MAP, SPAN_MERGE, SPAN_PARTITION, SPAN_SHARDED
 
-    context = _pool_context()
-    with recorder.span(SPAN_SHARDED):
+        sharded_span = recorder.span(SPAN_SHARDED)
+    else:
+        SPAN_MAP = SPAN_MERGE = SPAN_PARTITION = None
+        sharded_span = contextlib.nullcontext()
+
+    def span(name):
+        return recorder.span(name) if collect else contextlib.nullcontext()
+
+    with sharded_span:
         if trace is not None:
-            with recorder.span(SPAN_PARTITION):
+            with span(SPAN_PARTITION):
                 source_events: Iterable[object] = trace.events
                 if skip_locations:
                     source_events = filter_skipped(
-                        source_events, skip_locations, recorder
+                        source_events,
+                        skip_locations,
+                        recorder if collect else None,
                     )
                 shards = partition_memory_events(source_events, jobs, annotations)
                 dpst_dict = None if trace.dpst is None else dpst_to_dict(trace.dpst)
-                work = [
-                    (dpst_dict, shard, checker, annotations,
-                     lca_cache, parallel_engine, True)
-                    for shard in shards
+                tasks = [
+                    ShardTask(
+                        shard_id=index,
+                        fn=_check_shard_events,
+                        payload=(
+                            index, dpst_dict, shard, checker, annotations,
+                            lca_cache, parallel_engine, collect,
+                        ),
+                    )
+                    for index, shard in enumerate(shards)
                     if shard
                 ]
-                shard_ids = [
-                    index for index, shard in enumerate(shards) if shard
-                ]
-            if not work:
-                recorder.count("sharded.workers", 0)
+            if not tasks:
+                if collect:
+                    recorder.count("sharded.workers", 0)
                 return ViolationReport()
-            with recorder.span(SPAN_MAP):
-                with context.Pool(processes=min(jobs, len(work))) as pool:
-                    results = pool.map(_check_shard_events, work)
         else:
-            work = [
-                (path, shard, jobs, checker, annotations,
-                 lca_cache, parallel_engine, True, skip_locations)
+            tasks = [
+                ShardTask(
+                    shard_id=shard,
+                    fn=_check_shard_from_file,
+                    payload=(
+                        shard, path, jobs, checker, annotations, lca_cache,
+                        parallel_engine, collect, skip_locations, strict,
+                    ),
+                )
                 for shard in range(jobs)
             ]
-            shard_ids = list(range(jobs))
-            with recorder.span(SPAN_MAP):
-                with context.Pool(processes=jobs) as pool:
-                    results = pool.map(_check_shard_from_file, work)
-        with recorder.span(SPAN_MERGE):
-            nonempty = 0
-            for shard_id, (_, snapshot) in zip(shard_ids, results):
-                if snapshot is None:
-                    continue
-                recorder.add_shard(shard_id, snapshot)
-                recorder.count("sharded.heartbeats")
-                if snapshot.get("counters", {}).get("trace.events.routed"):
-                    nonempty += 1
-            recorder.count("sharded.workers", len(results))
-            recorder.count("sharded.shards_nonempty", nonempty)
-            merged = ViolationReport.merge([report for report, _ in results])
+
+        # Shards already completed by an earlier interrupted run merge
+        # from their checkpoints; only the remainder runs.
+        resumed: List[ShardOutcome] = []
+        if store is not None and store.resume:
+            remaining = []
+            for task in tasks:
+                cached = store.load(task.shard_id)
+                if cached is None:
+                    remaining.append(task)
+                else:
+                    resumed.append(
+                        ShardOutcome(
+                            shard_id=task.shard_id,
+                            report=cached[0],
+                            snapshot=cached[1],
+                            resumed=True,
+                        )
+                    )
+            tasks = remaining
+
+        def on_event(kind: str, shard_id: int, detail: str) -> None:
+            if not collect:
+                return
+            if kind == "failure":
+                recorder.count("sharded.shard_failures")
+            elif kind == "retry":
+                recorder.count("sharded.retries")
+            elif kind == "inline":
+                recorder.count("sharded.inline_fallbacks")
+
+        def on_outcome(outcome: ShardOutcome) -> None:
+            # Persist the moment a shard completes, not at the end: a
+            # later shard aborting the run must not lose finished work.
+            if store is not None:
+                store.store(outcome.shard_id, outcome.report, outcome.snapshot)
+
+        with span(SPAN_MAP):
+            fresh = run_supervised(
+                tasks,
+                jobs=jobs,
+                context=context,
+                policy=policy,
+                on_event=on_event,
+                on_outcome=on_outcome,
+            )
+
+        with span(SPAN_MERGE):
+            outcomes = sorted(resumed + fresh, key=lambda o: o.shard_id)
+            if collect:
+                nonempty = 0
+                for outcome in outcomes:
+                    snapshot = outcome.snapshot
+                    if snapshot is None:
+                        continue
+                    recorder.add_shard(outcome.shard_id, snapshot)
+                    if not outcome.resumed:
+                        recorder.count("sharded.heartbeats")
+                    if snapshot.get("counters", {}).get("trace.events.routed"):
+                        nonempty += 1
+                recorder.count("sharded.workers", len(fresh))
+                recorder.count("sharded.shards_nonempty", nonempty)
+                if resumed:
+                    recorder.count("sharded.resumed_shards", len(resumed))
+            merged = ViolationReport.merge(
+                [outcome.report for outcome in outcomes]
+            )
     return merged

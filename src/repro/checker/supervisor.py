@@ -1,0 +1,539 @@
+"""Worker supervision and shard checkpointing for the sharded driver.
+
+The sharded pipeline (:mod:`repro.checker.sharded`) originally ran its
+workers through ``multiprocessing.Pool.map``: one crashed worker, one
+OOM-killed shard, or one hung process aborted the whole run and threw
+away every completed shard.  Velodrome-style offline analyses treat the
+driver as infrastructure that must survive partial failure, so this
+module supplies the two fault-tolerance primitives the driver builds on:
+
+* :func:`run_supervised` -- each shard attempt runs in its *own*
+  supervised process with a result pipe.  Worker death (any signal,
+  including SIGKILL) surfaces as pipe EOF, worker exceptions travel back
+  as strings, and a configurable per-shard timeout kills stragglers.
+  Failures are handled per the :class:`WorkerPolicy`: bounded retry with
+  exponential backoff, graceful degradation to in-process checking of
+  the failed shard, or immediate abort.
+* :class:`CheckpointStore` -- persists each completed shard's
+  :class:`~repro.report.ViolationReport` (+ optional metrics snapshot)
+  as JSON under a run directory, so an interrupted run can be resumed
+  (``check_sharded(..., checkpoint_dir=..., resume=True)`` /
+  ``repro check-trace --checkpoint DIR --resume``) without redoing
+  completed shards.  Merging stored and fresh reports in shard order
+  reproduces the fresh-run report exactly.
+
+Fault injection hooks (tests and the CI smoke job) are environment
+variables so they reach workers under every start method:
+
+* ``REPRO_FAULT_KILL="SHARD[@ATTEMPT]"`` -- the matching shard attempt
+  SIGKILLs itself (default attempt 0, i.e. only the first try dies;
+  ``@*`` kills every attempt, for exercising retry exhaustion);
+* ``REPRO_FAULT_SLEEP="SHARD[@ATTEMPT]:SECONDS"`` -- the matching shard
+  attempt sleeps first, for exercising timeouts.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing.connection
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import CheckerError, TraceError
+from repro.report import ViolationReport, report_from_dict, report_to_dict
+
+#: Legal ``on_shard_failure`` policies (see :class:`WorkerPolicy`).
+FAILURE_POLICIES = ("retry", "inline", "raise")
+
+#: Fault-injection environment hooks (see module docstring).
+FAULT_KILL_ENV = "REPRO_FAULT_KILL"
+FAULT_SLEEP_ENV = "REPRO_FAULT_SLEEP"
+
+
+def _parse_target(spec: str) -> Tuple[int, Optional[int]]:
+    """Parse ``"SHARD"`` / ``"SHARD@ATTEMPT"`` / ``"SHARD@*"``.
+
+    The attempt defaults to ``0``; ``None`` (from ``@*``) matches every
+    attempt.
+    """
+    shard, _, attempt = spec.partition("@")
+    if attempt == "*":
+        return int(shard), None
+    return int(shard), int(attempt) if attempt else 0
+
+
+def _matches(target: Tuple[int, Optional[int]], shard: int, attempt: int) -> bool:
+    return target[0] == shard and target[1] in (None, attempt)
+
+
+def maybe_inject_fault(shard: int, attempt: int) -> None:
+    """Honor the fault-injection env hooks; a no-op unless they are set.
+
+    Called at the top of every worker body (and of inline fallbacks) so
+    tests and the CI fault smoke job can kill or stall one specific
+    shard attempt without patching any code.
+    """
+    kill = os.environ.get(FAULT_KILL_ENV)
+    if kill and _matches(_parse_target(kill), shard, attempt):
+        os.kill(os.getpid(), signal.SIGKILL)
+    sleep = os.environ.get(FAULT_SLEEP_ENV)
+    if sleep:
+        target_spec, _, seconds = sleep.rpartition(":")
+        if _matches(_parse_target(target_spec), shard, attempt):
+            time.sleep(float(seconds))
+
+
+@dataclass(frozen=True)
+class WorkerPolicy:
+    """How the supervisor reacts to a shard worker failing.
+
+    Attributes
+    ----------
+    on_failure:
+        ``"retry"`` -- retry up to *max_retries* times, then raise
+        :class:`CheckerError`; ``"inline"`` -- retry up to *max_retries*
+        times, then degrade to checking the shard in-process in the
+        driver (the run completes, slower); ``"raise"`` -- abort on the
+        first failure, no retries.
+    max_retries:
+        Extra worker attempts after the first failure (so a shard runs
+        at most ``max_retries + 1`` times in a worker).
+    retry_backoff:
+        Base delay in seconds before a retry; attempt *n* waits
+        ``retry_backoff * 2**(n-1)``.
+    timeout_s:
+        Per-attempt wall-clock budget; an attempt exceeding it is killed
+        and counts as a failure.  ``None`` disables the timeout.
+    """
+
+    on_failure: str = "retry"
+    max_retries: int = 2
+    retry_backoff: float = 0.05
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.on_failure not in FAILURE_POLICIES:
+            raise CheckerError(
+                f"unknown on_shard_failure policy {self.on_failure!r} "
+                f"(expected one of {', '.join(FAILURE_POLICIES)})"
+            )
+        if self.max_retries < 0:
+            raise CheckerError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise CheckerError(
+                f"shard timeout must be positive, got {self.timeout_s}"
+            )
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard of work: ``fn(payload, attempt)`` -> (report, snapshot)."""
+
+    shard_id: int
+    fn: Callable[[Any, int], Tuple[ViolationReport, Optional[dict]]]
+    payload: Any
+
+
+@dataclass
+class ShardOutcome:
+    """The result of one shard, however it was obtained."""
+
+    shard_id: int
+    report: ViolationReport
+    snapshot: Optional[dict] = None
+    attempts: int = 1
+    failures: int = 0
+    resumed: bool = False
+    inline: bool = False
+
+
+class _Attempt:
+    """Mutable supervision state of one shard task."""
+
+    __slots__ = ("task", "attempt", "failures", "eligible_at")
+
+    def __init__(self, task: ShardTask) -> None:
+        self.task = task
+        self.attempt = 0
+        self.failures = 0
+        self.eligible_at = 0.0
+
+
+def _shard_entry(fn, payload, attempt, conn) -> None:
+    """Worker process body: run the shard, ship the result up the pipe.
+
+    Exceptions travel back as strings (always picklable); a worker that
+    dies before sending shows up to the supervisor as pipe EOF.
+    """
+    try:
+        result = fn(payload, attempt)
+        conn.send(("ok", result))
+    except BaseException as exc:  # noqa: BLE001 - report, don't crash silently
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+def _drain(running: Dict[Any, Tuple[Any, _Attempt, float]]) -> None:
+    """Kill and reap every still-running worker (abort path)."""
+    for proc, _, _ in running.values():
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    for conn, (proc, _, _) in list(running.items()):
+        proc.join(timeout=2.0)
+        if proc.is_alive():
+            try:
+                proc.kill()
+            except Exception:
+                pass
+            proc.join(timeout=2.0)
+        try:
+            conn.close()
+        except Exception:
+            pass
+    running.clear()
+
+
+def run_supervised(
+    tasks: List[ShardTask],
+    jobs: int,
+    context,
+    policy: Optional[WorkerPolicy] = None,
+    on_event: Optional[Callable[[str, int, str], None]] = None,
+    on_outcome: Optional[Callable[[ShardOutcome], None]] = None,
+) -> List[ShardOutcome]:
+    """Run *tasks* in supervised worker processes; return their outcomes.
+
+    At most *jobs* workers run concurrently.  Each attempt gets its own
+    process and result pipe, so a worker dying from any signal is
+    detected (EOF) rather than hanging the driver.  *policy* governs
+    retry/degrade/abort behavior; *on_event* (when given) receives
+    ``("failure" | "retry" | "inline" | "success", shard_id, detail)``
+    notifications as they happen -- the driver uses it for metrics.
+    *on_outcome* fires with each :class:`ShardOutcome` the moment its
+    shard completes -- crucially *before* any later shard can abort the
+    run, so checkpoints written from it survive a failed run.
+
+    Raises :class:`CheckerError` when a shard is abandoned (policy
+    ``"raise"``, or retries exhausted under ``"retry"``), with every
+    other worker terminated first.
+    """
+    policy = policy or WorkerPolicy()
+    notify = on_event or (lambda kind, shard, detail: None)
+    deliver = on_outcome or (lambda outcome: None)
+    outcomes: Dict[int, ShardOutcome] = {}
+    pending: List[_Attempt] = [_Attempt(task) for task in tasks]
+    #: recv-connection -> (process, attempt state, start time)
+    running: Dict[Any, Tuple[Any, _Attempt, float]] = {}
+    capacity = max(1, jobs)
+
+    def launch(state: _Attempt) -> None:
+        recv, send = context.Pipe(duplex=False)
+        proc = context.Process(
+            target=_shard_entry,
+            args=(state.task.fn, state.task.payload, state.attempt, send),
+        )
+        try:
+            proc.start()
+        except Exception as exc:
+            # Under spawn/forkserver the payload is pickled here; turn a
+            # pickle traceback into an actionable CheckerError.
+            recv.close()
+            send.close()
+            raise CheckerError(
+                f"cannot ship shard {state.task.shard_id} to a "
+                f"{context.get_start_method()!r} worker: {exc}; worker "
+                "payloads (checker spec, annotations, events) must be "
+                "picklable under this start method"
+            ) from exc
+        send.close()
+        running[recv] = (proc, state, time.monotonic())
+
+    def succeed(state: _Attempt, result, inline: bool = False) -> None:
+        report, snapshot = result
+        outcome = ShardOutcome(
+            shard_id=state.task.shard_id,
+            report=report,
+            snapshot=snapshot,
+            attempts=state.attempt + 1,
+            failures=state.failures,
+            inline=inline,
+        )
+        outcomes[state.task.shard_id] = outcome
+        notify("success", state.task.shard_id, "inline" if inline else "")
+        deliver(outcome)
+
+    def fail(state: _Attempt, reason: str) -> None:
+        state.failures += 1
+        shard_id = state.task.shard_id
+        notify("failure", shard_id, reason)
+        if policy.on_failure == "raise":
+            raise CheckerError(f"shard {shard_id} failed: {reason}")
+        if state.attempt < policy.max_retries:
+            state.attempt += 1
+            state.eligible_at = time.monotonic() + (
+                policy.retry_backoff * (2 ** (state.attempt - 1))
+            )
+            notify("retry", shard_id, reason)
+            pending.append(state)
+            return
+        if policy.on_failure == "inline":
+            # Retries exhausted: degrade to in-process checking so the
+            # run still completes.  The fault hooks are suspended for
+            # the call -- it runs in the *driver* process, and a kill
+            # hook matching this attempt would take down the whole run.
+            notify("inline", shard_id, reason)
+            suspended = {
+                name: os.environ.pop(name)
+                for name in (FAULT_KILL_ENV, FAULT_SLEEP_ENV)
+                if name in os.environ
+            }
+            try:
+                result = state.task.fn(state.task.payload, state.attempt + 1)
+            except Exception as exc:
+                raise CheckerError(
+                    f"shard {shard_id} failed in-process after "
+                    f"{state.attempt + 1} worker attempt(s): {exc}"
+                ) from exc
+            finally:
+                os.environ.update(suspended)
+            succeed(state, result, inline=True)
+            return
+        raise CheckerError(
+            f"shard {shard_id} failed after {state.attempt + 1} attempt(s): "
+            f"{reason}; pass on_shard_failure='inline' to degrade to "
+            "in-process checking instead of aborting"
+        )
+
+    try:
+        while pending or running:
+            now = time.monotonic()
+            while len(running) < capacity:
+                state = next(
+                    (s for s in pending if s.eligible_at <= now), None
+                )
+                if state is None:
+                    break
+                pending.remove(state)
+                launch(state)
+            if not running:
+                # Everything pending is backing off; sleep to the
+                # earliest eligibility.
+                wake = min(s.eligible_at for s in pending)
+                time.sleep(max(0.0, wake - time.monotonic()))
+                continue
+            wait_timeout = 0.25
+            if policy.timeout_s is not None:
+                earliest = min(started for _, _, started in running.values())
+                wait_timeout = min(
+                    wait_timeout,
+                    max(0.0, earliest + policy.timeout_s - now),
+                )
+            if pending:
+                wake = min(s.eligible_at for s in pending)
+                wait_timeout = min(wait_timeout, max(0.0, wake - now))
+            ready = multiprocessing.connection.wait(
+                list(running), timeout=wait_timeout
+            )
+            for conn in ready:
+                proc, state, _started = running.pop(conn)
+                status: Optional[str] = None
+                value: Any = None
+                try:
+                    status, value = conn.recv()
+                except (EOFError, OSError):
+                    status = None  # died before (or while) sending
+                finally:
+                    conn.close()
+                proc.join()
+                if status == "ok":
+                    succeed(state, value)
+                elif status == "error":
+                    fail(state, value)
+                else:
+                    fail(state, f"worker died (exit code {proc.exitcode})")
+            if policy.timeout_s is not None:
+                now = time.monotonic()
+                expired = [
+                    conn
+                    for conn, (_, _, started) in running.items()
+                    if now - started > policy.timeout_s
+                ]
+                for conn in expired:
+                    proc, state, _started = running.pop(conn)
+                    try:
+                        proc.kill()
+                    except Exception:
+                        pass
+                    proc.join(timeout=2.0)
+                    conn.close()
+                    fail(
+                        state,
+                        f"timed out after {policy.timeout_s:g}s",
+                    )
+    except BaseException:
+        _drain(running)
+        raise
+    return [outcomes[task.shard_id] for task in tasks]
+
+
+# ---------------------------------------------------------------------------
+# Shard checkpoints
+# ---------------------------------------------------------------------------
+
+#: Version stamp of the per-shard checkpoint JSON layout.
+CHECKPOINT_SCHEMA = "repro-checkpoint/1"
+
+#: The run manifest file inside a checkpoint directory.
+MANIFEST_NAME = "run.json"
+
+
+def _atomic_write(path: str, data: Dict[str, Any]) -> None:
+    """Write JSON via a temp file + rename so readers never see a torn
+    checkpoint (an interrupted run leaves either the old file or none)."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+class CheckpointStore:
+    """Per-shard result persistence under one run directory.
+
+    Layout::
+
+        DIR/run.json          manifest: schema, jobs, checker, source hint
+        DIR/shard-00003.json  one completed shard: report + metrics snapshot
+
+    A fresh run writes the manifest and clears stale shard files; a
+    ``resume=True`` run validates the manifest against the current
+    configuration (jobs count and checker name must match -- the shard
+    partition depends on both) and then serves stored shard results via
+    :meth:`load`.  Unreadable or torn shard files are silently recomputed;
+    an *incompatible* manifest is a hard :class:`CheckerError` so results
+    from different configurations can never be mixed.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        jobs: int,
+        checker: str,
+        source: Optional[str] = None,
+        resume: bool = False,
+    ) -> None:
+        self.directory = os.fspath(directory)
+        self.resume = bool(resume)
+        self.meta: Dict[str, Any] = {
+            "schema": CHECKPOINT_SCHEMA,
+            "jobs": int(jobs),
+            "checker": checker,
+            "source": source,
+        }
+        os.makedirs(self.directory, exist_ok=True)
+        manifest = os.path.join(self.directory, MANIFEST_NAME)
+        stored = self._read_manifest(manifest)
+        if self.resume and stored is not None:
+            for key in ("schema", "jobs", "checker"):
+                if stored.get(key) != self.meta[key]:
+                    raise CheckerError(
+                        f"checkpoint directory {self.directory!r} belongs "
+                        f"to an incompatible run ({key}={stored.get(key)!r}, "
+                        f"this run has {key}={self.meta[key]!r}); use a "
+                        "fresh directory or matching settings"
+                    )
+        else:
+            # Fresh run (or resume of an empty directory): stale shard
+            # files from other configurations must not leak in.
+            for name in os.listdir(self.directory):
+                if name.startswith("shard-") and name.endswith(".json"):
+                    os.unlink(os.path.join(self.directory, name))
+            _atomic_write(manifest, self.meta)
+
+    @staticmethod
+    def _read_manifest(path: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    def _shard_path(self, shard_id: int) -> str:
+        return os.path.join(self.directory, f"shard-{shard_id:05d}.json")
+
+    def load(
+        self, shard_id: int
+    ) -> Optional[Tuple[ViolationReport, Optional[dict]]]:
+        """The stored result of *shard_id*, or ``None`` to recompute.
+
+        Only serves results when resuming; damaged or mismatched shard
+        files degrade to recomputation, never to a wrong merge.
+        """
+        if not self.resume:
+            return None
+        path = self._shard_path(shard_id)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(data, dict)
+            or data.get("schema") != CHECKPOINT_SCHEMA
+            or data.get("shard") != shard_id
+        ):
+            return None
+        try:
+            report = report_from_dict(data["report"])
+        except (KeyError, TypeError, ValueError, TraceError):
+            return None
+        return report, data.get("metrics")
+
+    def store(
+        self,
+        shard_id: int,
+        report: ViolationReport,
+        snapshot: Optional[dict] = None,
+    ) -> None:
+        """Persist one completed shard's report (+ metrics snapshot)."""
+        _atomic_write(
+            self._shard_path(shard_id),
+            {
+                "schema": CHECKPOINT_SCHEMA,
+                "shard": shard_id,
+                "report": report_to_dict(report),
+                "metrics": snapshot,
+            },
+        )
+
+    def completed_shards(self) -> List[int]:
+        """Shard ids with a stored checkpoint file (sorted)."""
+        shards = []
+        for name in os.listdir(self.directory):
+            if name.startswith("shard-") and name.endswith(".json"):
+                try:
+                    shards.append(int(name[len("shard-"):-len(".json")]))
+                except ValueError:
+                    continue
+        return sorted(shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<CheckpointStore {self.directory!r} jobs={self.meta['jobs']} "
+            f"resume={self.resume}>"
+        )

@@ -348,20 +348,44 @@ def cmd_check_trace(args: argparse.Namespace) -> int:
     jobs = None if args.jobs == 0 else args.jobs
     recorder = _metrics_recorder(args)
     prefilter: Any = False
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume needs --checkpoint DIR")
     if args.static_prefilter:
         # Offline traces carry no program text, so the prefilter flag
         # names the program (MODULE:FUNC) the trace was recorded from.
         prefilter = _load_lint_target(args.static_prefilter)
-        if recorder is None:
-            from repro.obs import MetricsRecorder
+    if recorder is None and (args.static_prefilter or args.lenient):
+        # A private recorder so skip counts can be reported even without
+        # --metrics (skipping is never silent).
+        from repro.obs import MetricsRecorder
 
-            recorder = MetricsRecorder()
+        recorder = MetricsRecorder()
     session = CheckSession(
         args.trace, checker=args.checker, jobs=jobs, engine=args.engine,
-        recorder=recorder,
+        recorder=recorder, strict=not args.lenient,
     )
-    report = session.check(static_prefilter=prefilter)
+    report = session.check(
+        static_prefilter=prefilter,
+        checkpoint_dir=args.checkpoint,
+        resume=args.resume,
+        on_shard_failure=args.on_shard_failure,
+        max_retries=args.retries,
+        shard_timeout=args.shard_timeout,
+        start_method=args.start_method,
+    )
     print(report.describe())
+    skipped = session.lines_skipped
+    if not skipped and recorder is not None and recorder.enabled:
+        # jobs>1: workers scan the file themselves; the count comes back
+        # through the merged metrics rather than the parent's reader.
+        skipped = int(
+            recorder.snapshot().counters.get("trace.lines_skipped", 0)
+        )
+    if skipped:
+        print(
+            f"lenient mode: skipped {skipped} undecodable trace line(s); "
+            "the verdict covers the decodable events only"
+        )
     _print_prefilter(session, recorder)
     _dump_metrics(recorder if getattr(args, "metrics", None) else None, args)
     return 1 if report else 0
@@ -640,6 +664,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--static-prefilter", metavar="MODULE:FUNC", default=None,
         help="lint the named program (the one this trace was recorded "
         "from) and skip locations proven schedule-serial",
+    )
+    check_trace.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="persist each completed shard's report under DIR so an "
+        "interrupted run can be resumed",
+    )
+    check_trace.add_argument(
+        "--resume", action="store_true",
+        help="reuse completed shards from --checkpoint DIR (same jobs "
+        "count and checker required); only the rest is re-checked",
+    )
+    check_trace.add_argument(
+        "--on-shard-failure", choices=("retry", "inline", "raise"),
+        default="retry",
+        help="crashed/hung worker handling: bounded retry (default), "
+        "degrade to in-process checking, or abort",
+    )
+    check_trace.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="extra worker attempts per shard before giving up (default: 2)",
+    )
+    check_trace.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill a shard attempt exceeding this wall-clock budget "
+        "(default: no timeout)",
+    )
+    check_trace.add_argument(
+        "--lenient", action="store_true",
+        help="skip (and count) undecodable trace lines instead of "
+        "aborting; the skip count is always printed",
+    )
+    check_trace.add_argument(
+        "--start-method", choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method for workers (default: fork "
+        "where available)",
     )
     _add_engine_option(check_trace)
     check_trace.set_defaults(handler=cmd_check_trace)

@@ -16,7 +16,10 @@ triple witnesses a schedule in which ``A2`` interleaves between ``A1`` and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+#: Version stamp of the report JSON layout (shard checkpoints, tooling).
+REPORT_SCHEMA = "repro-report/1"
 
 #: Access types.  Kept as plain strings for cheap comparisons and readable
 #: reprs; the two legal values are re-exported as constants.
@@ -172,11 +175,23 @@ class ViolationReport:
         return True
 
     def extend(self, other: "ViolationReport") -> None:
-        """Merge another report into this one (deduplicating)."""
+        """Merge another report into this one (deduplicating).
+
+        ``raw_count`` accumulates *other*'s full raw count -- the number
+        of ``add`` calls its checker made, duplicates included -- not the
+        number of distinct records copied over.  Chattiness statistics
+        therefore survive any chain of ``extend``/``merge`` calls
+        unchanged, even when shards report duplicate violations.
+        """
+        raw_before = self.raw_count
         for violation in other._violations:
             self.add(violation)
         for cycle in other._cycles:
             self.add_cycle(cycle)
+        # The add() calls above counted each *distinct* record once;
+        # restore the true total so duplicates are neither dropped nor
+        # double-counted.
+        self.raw_count = raw_before + other.raw_count
 
     @classmethod
     def merge(cls, reports: Iterable["ViolationReport"]) -> "ViolationReport":
@@ -185,14 +200,11 @@ class ViolationReport:
         The workhorse of the sharded pipeline: per-shard reports are
         disjoint by location, so merging is pure concatenation, but the
         deduplication keys still guard against overlapping inputs.
-        ``raw_count`` is accumulated so chattiness statistics survive the
-        merge.
+        ``raw_count`` sums the inputs' raw counts (see :meth:`extend`).
         """
         merged = cls()
         for report in reports:
-            raw_before = merged.raw_count
             merged.extend(report)
-            merged.raw_count = raw_before + report.raw_count
         return merged
 
     # -- queries ----------------------------------------------------------
@@ -258,3 +270,110 @@ def merge_reports(reports: Iterable[ViolationReport]) -> ViolationReport:
     Functional alias of :meth:`ViolationReport.merge`.
     """
     return ViolationReport.merge(reports)
+
+
+# ---------------------------------------------------------------------------
+# JSON round-trip (shard checkpoints, external tooling)
+# ---------------------------------------------------------------------------
+#
+# Locations are arbitrary hashable values (strings, ints, tuples ...);
+# they reuse the trace serializer's tagged encoding so a report restored
+# from JSON deduplicates and merges exactly like the original.  The
+# imports are lazy to keep repro.report dependency-free at import time.
+
+
+def _access_to_dict(access: AccessInfo) -> Dict[str, Any]:
+    from repro.trace.serialize import encode_location
+
+    return {
+        "step": access.step,
+        "access_type": access.access_type,
+        "location": encode_location(access.location),
+        "task": access.task,
+        "lockset": list(access.lockset),
+    }
+
+
+def _access_from_dict(data: Dict[str, Any]) -> AccessInfo:
+    from repro.trace.serialize import decode_location
+
+    return AccessInfo(
+        step=int(data["step"]),
+        access_type=data["access_type"],
+        location=decode_location(data["location"]),
+        task=data.get("task"),
+        lockset=tuple(data.get("lockset", ())),
+    )
+
+
+def report_to_dict(report: ViolationReport) -> Dict[str, Any]:
+    """Encode *report* as one JSON-safe dict (schema ``repro-report/1``).
+
+    First-seen order, ``raw_count`` and both violation kinds survive, so
+    ``report_from_dict(report_to_dict(r))`` renders and merges exactly
+    like ``r`` -- the property shard checkpoints rely on.
+    """
+    from repro.trace.serialize import encode_location
+
+    return {
+        "schema": REPORT_SCHEMA,
+        "raw_count": report.raw_count,
+        "violations": [
+            {
+                "location": encode_location(v.location),
+                "first": _access_to_dict(v.first),
+                "second": _access_to_dict(v.second),
+                "third": _access_to_dict(v.third),
+                "pattern": v.pattern,
+                "checker": v.checker,
+            }
+            for v in report.violations
+        ],
+        "cycles": [
+            {
+                "location": encode_location(c.location),
+                "cycle": list(c.cycle),
+                "closing_access": _access_to_dict(c.closing_access),
+                "checker": c.checker,
+            }
+            for c in report.cycles
+        ],
+    }
+
+
+def report_from_dict(data: Dict[str, Any]) -> ViolationReport:
+    """Inverse of :func:`report_to_dict`."""
+    from repro.trace.serialize import decode_location
+
+    if not isinstance(data, dict) or data.get("schema") != REPORT_SCHEMA:
+        raise ValueError(
+            f"not a serialized ViolationReport: {type(data).__name__} "
+            f"with schema {data.get('schema')!r}"
+            if isinstance(data, dict)
+            else f"not a serialized ViolationReport: {type(data).__name__}"
+        )
+    report = ViolationReport()
+    for row in data.get("violations", []):
+        report.add(
+            AtomicityViolation(
+                location=decode_location(row["location"]),
+                first=_access_from_dict(row["first"]),
+                second=_access_from_dict(row["second"]),
+                third=_access_from_dict(row["third"]),
+                pattern=row["pattern"],
+                checker=row.get("checker", ""),
+            )
+        )
+    for row in data.get("cycles", []):
+        report.add_cycle(
+            TraceCycleViolation(
+                location=decode_location(row["location"]),
+                cycle=tuple(row["cycle"]),
+                closing_access=_access_from_dict(row["closing_access"]),
+                checker=row.get("checker", "velodrome"),
+            )
+        )
+    # The add() calls counted each distinct record once; restore the
+    # recorded chattiness.
+    report.raw_count = int(data.get("raw_count", report.raw_count))
+    return report

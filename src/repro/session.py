@@ -81,6 +81,12 @@ class CheckSession:
         no-op :data:`repro.obs.NULL_RECORDER`; pass a
         :class:`repro.obs.MetricsRecorder` and read :attr:`metrics`
         afterwards.
+    strict:
+        ``False`` opens file sources in lenient mode: undecodable or
+        truncated JSONL lines are counted (:attr:`lines_skipped`, and
+        the ``trace.lines_skipped`` metric when observed) and skipped
+        instead of aborting the check mid-stream.  Ignored for
+        non-file sources.
     """
 
     def __init__(
@@ -93,6 +99,7 @@ class CheckSession:
         annotations: Optional[AtomicAnnotations] = None,
         lca_cache: bool = True,
         recorder: Any = None,
+        strict: bool = True,
     ) -> None:
         if recorder is None:
             from repro.obs import NULL_RECORDER
@@ -103,6 +110,7 @@ class CheckSession:
         self.engine = engine
         self.executor = executor
         self.lca_cache = lca_cache
+        self.strict = strict
         #: The session's observability sink (a :class:`repro.obs.Recorder`).
         self.recorder = recorder
         #: Reports of every :meth:`check` call, keyed by checker name.
@@ -128,7 +136,7 @@ class CheckSession:
         elif isinstance(source, TraceReader):
             self._reader = source
         elif isinstance(source, (str, os.PathLike)):
-            self._reader = open_trace(source)
+            self._reader = open_trace(source, strict=strict)
         else:
             raise TraceError(
                 f"cannot check {type(source).__name__}: expected a "
@@ -198,6 +206,12 @@ class CheckSession:
         checker: Optional[CheckerSpec] = None,
         jobs: Optional[int] = None,
         static_prefilter: Any = False,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
+        on_shard_failure: str = "retry",
+        max_retries: int = 2,
+        shard_timeout: Optional[float] = None,
+        start_method: Optional[str] = None,
         **checker_kwargs: Any,
     ) -> ViolationReport:
         """Run one checker over the source; return (and remember) its report.
@@ -216,21 +230,36 @@ class CheckSession:
         with the reason recorded in :attr:`prefilter_info`, never
         silently -- unless the lint skeleton is fully exact and the
         session's annotations are trivial.
+
+        ``checkpoint_dir`` / ``resume`` persist (and reuse) per-shard
+        results; ``on_shard_failure`` / ``max_retries`` /
+        ``shard_timeout`` / ``start_method`` configure the worker
+        supervision of the sharded pipeline -- all forwarded to
+        :func:`repro.checker.sharded.check_sharded` (a ``jobs=1``
+        check honors checkpoints too, treating the run as one shard).
         """
         spec = self.checker if checker is None else checker
         if checker_kwargs:
             spec = make_checker(spec, **checker_kwargs)
         jobs = self.jobs if jobs is None else jobs
         skip = self._resolve_prefilter(static_prefilter)
+        fault_options = dict(
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            on_shard_failure=on_shard_failure,
+            max_retries=max_retries,
+            shard_timeout=shard_timeout,
+            start_method=start_method,
+        )
 
         if self.recorder.enabled:
             from repro.obs import SPAN_CHECK
 
             self._span_dpst_build()
             with self.recorder.span(SPAN_CHECK):
-                report = self._dispatch(spec, jobs, skip)
+                report = self._dispatch(spec, jobs, skip, fault_options)
         else:
-            report = self._dispatch(spec, jobs, skip)
+            report = self._dispatch(spec, jobs, skip, fault_options)
         self.reports[checker_name_of(spec)] = report
         return report
 
@@ -239,8 +268,10 @@ class CheckSession:
         spec: CheckerSpec,
         jobs: Optional[int],
         skip_locations: Optional[frozenset] = None,
+        fault_options: Optional[Dict[str, Any]] = None,
     ) -> ViolationReport:
-        if jobs == 1:
+        fault_options = fault_options or {}
+        if jobs == 1 and not fault_options.get("checkpoint_dir"):
             return self._check_in_process(spec, skip_locations)
         return check_sharded(
             self._sharded_source(),
@@ -251,6 +282,7 @@ class CheckSession:
             parallel_engine=self.engine,
             recorder=self.recorder,
             skip_locations=skip_locations,
+            **fault_options,
         )
 
     def _span_dpst_build(self) -> None:
@@ -287,10 +319,12 @@ class CheckSession:
     ) -> ViolationReport:
         """jobs=1: stream file sources, replay in-memory ones."""
         analysis = make_checker(spec)
-        if self._trace is None and self._reader is not None:
+        streaming = self._trace is None and self._reader is not None
+        if streaming:
             # File source: never materialize the event list.
             events = self._reader.memory_events()
             dpst = self._reader.dpst
+            skipped_before = self._reader.lines_skipped
         else:
             events = self.trace.memory_events()
             dpst = self.trace.dpst
@@ -300,7 +334,7 @@ class CheckSession:
                     "static.prefilter.locations", len(skip_locations)
                 )
             events = filter_skipped(events, skip_locations, self.recorder)
-        return replay_memory_events(
+        report = replay_memory_events(
             events,
             analysis,
             dpst=dpst,
@@ -309,6 +343,11 @@ class CheckSession:
             parallel_engine=self.engine,
             recorder=self.recorder,
         )
+        if streaming and self.recorder.enabled:
+            skipped = self._reader.lines_skipped - skipped_before
+            if skipped:
+                self.recorder.count("trace.lines_skipped", skipped)
+        return report
 
     # -- static analysis ---------------------------------------------------
 
@@ -410,6 +449,15 @@ class CheckSession:
         for found in self.report():
             return found
         return None
+
+    @property
+    def lines_skipped(self) -> int:
+        """Undecodable lines skipped so far by a lenient file reader.
+
+        Always ``0`` for strict or non-file sources; never silent --
+        the CLI surfaces a non-zero count after every lenient check.
+        """
+        return self._reader.lines_skipped if self._reader is not None else 0
 
     @property
     def metrics(self):

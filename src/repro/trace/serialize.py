@@ -259,6 +259,10 @@ class TraceWriter:
         self.close()
 
 
+#: Sentinel yielded internally for lines the lenient reader skipped.
+_SKIPPED = object()
+
+
 class TraceReader:
     """Streaming reader over a serialized trace file (v1 or v2).
 
@@ -267,10 +271,30 @@ class TraceReader:
     generator.  Each call to :meth:`events` opens a fresh handle, so a
     reader supports any number of passes -- exactly what the sharded
     pipeline's workers need when each filters out its own shard.
+
+    Lifecycle: the reader tracks every handle its streaming passes open,
+    and :meth:`close` (or use as a context manager) closes any that an
+    abandoned generator left behind -- so a checker raising mid-replay
+    never leaks a file descriptor.
+
+    Lenient mode (``strict=False``): undecodable or truncated JSONL event
+    lines are *counted and skipped* (:attr:`lines_skipped`) instead of
+    raising mid-stream -- never silently; callers surface the count as
+    the ``trace.lines_skipped`` metric.  The header must always decode
+    (the DPST lives there), and v1 monolithic JSON has no line structure
+    to salvage, so both still raise.  Soundness caveat: a skipped line is
+    a memory access the checker never sees, so a lenient run can miss
+    violations on the affected locations; it can never invent them.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, strict: bool = True) -> None:
         self.path = os.fspath(path)
+        #: ``False`` skips (and counts) undecodable event lines.
+        self.strict = bool(strict)
+        #: Undecodable lines skipped so far (cumulative across passes).
+        self.lines_skipped = 0
+        self._closed = False
+        self._live_handles: set = set()
         self._v1_trace: Optional[Trace] = None
         if is_jsonl_trace(self.path):
             with open(self.path, "r", encoding="utf-8") as handle:
@@ -292,19 +316,82 @@ class TraceReader:
             self.version = 1
             self.dpst = self._v1_trace.dpst
 
+    # -- lifecycle ---------------------------------------------------------
+
+    def _open_stream(self, binary: bool = False):
+        """Open (and track) one streaming pass over the file."""
+        if self._closed:
+            raise TraceError(f"TraceReader for {self.path!r} is closed")
+        if binary:
+            handle = open(self.path, "rb")
+        else:
+            handle = open(
+                self.path,
+                "r",
+                encoding="utf-8",
+                errors="strict" if self.strict else "replace",
+            )
+        self._live_handles.add(handle)
+        return handle
+
+    def _release(self, handle) -> None:
+        self._live_handles.discard(handle)
+        if not handle.closed:
+            handle.close()
+
+    def close(self) -> None:
+        """Close every handle still open from streaming passes (idempotent).
+
+        Generators abandoned mid-stream (a checker raised during replay)
+        keep their file handle until garbage collection; ``close`` frees
+        them deterministically.  Further passes raise :class:`TraceError`.
+        """
+        self._closed = True
+        for handle in list(self._live_handles):
+            self._release(handle)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
     # -- streaming views ---------------------------------------------------
+
+    def _decode_line(self, line) -> object:
+        """Decode one event line; in lenient mode bad lines become
+        :data:`_SKIPPED` (and are counted) instead of raising."""
+        if self.strict:
+            return event_from_dict(json.loads(line))
+        try:
+            return event_from_dict(json.loads(line))
+        except (ValueError, TypeError, KeyError, TraceError):
+            self.lines_skipped += 1
+            return _SKIPPED
 
     def events(self) -> Iterator[object]:
         """Yield every event in file order (a fresh pass per call)."""
+        if self._closed:
+            raise TraceError(f"TraceReader for {self.path!r} is closed")
         if self._v1_trace is not None:
             yield from self._v1_trace.events
             return
-        with open(self.path, "r", encoding="utf-8") as handle:
+        handle = self._open_stream()
+        try:
             handle.readline()  # header
             for line in handle:
                 line = line.strip()
-                if line:
-                    yield event_from_dict(json.loads(line))
+                if not line:
+                    continue
+                event = self._decode_line(line)
+                if event is not _SKIPPED:
+                    yield event
+        finally:
+            self._release(handle)
 
     def __iter__(self) -> Iterator[object]:
         return self.events()
@@ -338,7 +425,8 @@ class TraceReader:
             return
         # Binary mode: foreign-shard lines are dropped after a bounded
         # bytes scan, without UTF-8 decoding or JSON parsing them.
-        with open(self.path, "rb") as handle:
+        handle = self._open_stream(binary=True)
+        try:
             handle.readline()  # header
             for line in handle:
                 # The stamp sits in the last ~20 bytes; bound the scan.
@@ -346,16 +434,21 @@ class TraceReader:
                 if match is not None:
                     if int(match.group(1)) % jobs != shard:
                         continue
-                    yield event_from_dict(json.loads(line))
+                    event = self._decode_line(line)
+                    if event is not _SKIPPED:
+                        yield event
                 else:
                     if not line.strip():
                         continue
-                    event = event_from_dict(json.loads(line))
+                    event = self._decode_line(line)
                     if (
-                        isinstance(event, MemoryEvent)
+                        event is not _SKIPPED
+                        and isinstance(event, MemoryEvent)
                         and location_shard_key(event.location) % jobs == shard
                     ):
                         yield event
+        finally:
+            self._release(handle)
 
     def read(self) -> Trace:
         """Materialize the full :class:`Trace` (events + DPST) in memory."""
@@ -379,9 +472,14 @@ def is_jsonl_trace(path: str) -> bool:
     return head.lstrip().startswith(b'{"format": "%s"' % JSONL_FORMAT.encode())
 
 
-def open_trace(path: str) -> TraceReader:
-    """Open *path* (either format) as a streaming :class:`TraceReader`."""
-    return TraceReader(path)
+def open_trace(path: str, strict: bool = True) -> TraceReader:
+    """Open *path* (either format) as a streaming :class:`TraceReader`.
+
+    ``strict=False`` turns on lenient ingestion: undecodable JSONL event
+    lines are counted on ``reader.lines_skipped`` and skipped instead of
+    raising mid-stream.
+    """
+    return TraceReader(path, strict=strict)
 
 
 def dump_trace_jsonl(

@@ -197,6 +197,97 @@ class TestCheckTrace:
         assert main(["check-trace", path, "--jobs", "2"]) == 1
 
 
+class TestCheckTraceFaultTolerance:
+    @pytest.fixture
+    def trace_file(self, target_module, tmp_path, capsys):
+        path = str(tmp_path / "t.jsonl")
+        main(["record", f"{target_module}:buggy", "-o", path])
+        capsys.readouterr()
+        return path
+
+    def test_checkpoint_then_resume(self, trace_file, tmp_path, capsys):
+        import os
+
+        ck = str(tmp_path / "ck")
+        code = main(
+            ["check-trace", trace_file, "--jobs", "2", "--checkpoint", ck]
+        )
+        fresh = capsys.readouterr().out
+        assert code == 1
+        os.unlink(os.path.join(ck, "shard-00000.json"))
+        code = main(
+            [
+                "check-trace", trace_file, "--jobs", "2",
+                "--checkpoint", ck, "--resume",
+            ]
+        )
+        assert code == 1
+        assert capsys.readouterr().out == fresh
+
+    def test_resume_requires_checkpoint(self, trace_file):
+        with pytest.raises(SystemExit, match="--checkpoint"):
+            main(["check-trace", trace_file, "--resume"])
+
+    def test_kill_injection_still_completes(
+        self, trace_file, monkeypatch, capsys
+    ):
+        from repro.checker.supervisor import FAULT_KILL_ENV
+
+        monkeypatch.setenv(FAULT_KILL_ENV, "0@0")
+        code = main(
+            ["check-trace", trace_file, "--jobs", "2",
+             "--on-shard-failure", "retry"]
+        )
+        assert code == 1
+        assert "Atomicity violation" in capsys.readouterr().out
+
+    def test_lenient_flag_prints_skip_count(self, trace_file, capsys):
+        with open(trace_file, "a", encoding="utf-8") as handle:
+            handle.write("{not json\n")
+        code = main(["check-trace", trace_file, "--lenient"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "skipped 1 undecodable trace line(s)" in out
+
+    def test_strict_default_fails_on_garbage(self, trace_file):
+        with open(trace_file, "a", encoding="utf-8") as handle:
+            handle.write("{not json\n")
+        with pytest.raises(Exception):
+            main(["check-trace", trace_file])
+
+    def test_shard_timeout_and_retries_flags_parse(self, trace_file, capsys):
+        code = main(
+            ["check-trace", trace_file, "--jobs", "2", "--retries", "1",
+             "--shard-timeout", "30"]
+        )
+        assert code == 1
+
+    def test_metrics_include_fault_counters(
+        self, trace_file, tmp_path, monkeypatch, capsys
+    ):
+        import json
+
+        from repro.checker.supervisor import FAULT_KILL_ENV
+
+        out_path = str(tmp_path / "metrics.json")
+        monkeypatch.setenv(FAULT_KILL_ENV, "0@0")
+        main(
+            ["check-trace", trace_file, "--jobs", "2",
+             "--metrics", out_path]
+        )
+        capsys.readouterr()
+        with open(out_path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert data["counters"]["sharded.shard_failures"] == 1
+        assert data["counters"]["sharded.retries"] == 1
+        # And `repro stats` renders them.
+        code = main(["stats", out_path])
+        rendered = capsys.readouterr().out
+        assert code == 0
+        assert "sharded.shard_failures" in rendered
+        assert "sharded.retries" in rendered
+
+
 class TestCoverage:
     def test_clean_coverage_exit_0(self, target_module, capsys):
         code = main(["coverage", f"{target_module}:buggy"])

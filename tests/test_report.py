@@ -133,3 +133,91 @@ class TestMerging:
             reports.append(r)
         merged = merge_reports(reports)
         assert len(merged) == 2
+
+
+class TestRawCountAccounting:
+    """Regression: ``extend``/``merge`` must sum the inputs' raw counts.
+
+    ``raw_count`` is the total number of ``add`` calls, duplicates
+    included.  Extending used to re-count only the *distinct* records it
+    copied, so shards reporting duplicate violations under-counted (and
+    a later ``merge`` overwrote the total again).
+    """
+
+    def test_extend_sums_raw_counts_with_duplicates(self):
+        first = ViolationReport()
+        first.add(make_violation())
+        first.add(make_violation())  # duplicate: raw 2, distinct 1
+        second = ViolationReport()
+        second.add(make_violation())  # same key as first's
+        second.add(make_violation("Y"))
+        second.add(make_violation("Y"))  # duplicate: raw 3, distinct 2
+        first.extend(second)
+        assert len(first) == 2
+        assert first.raw_count == 5
+
+    def test_merge_sums_raw_counts(self):
+        reports = []
+        for location in ("A", "B", "A"):
+            r = ViolationReport()
+            r.add(make_violation(location))
+            r.add(make_violation(location))  # duplicate in every shard
+            reports.append(r)
+        merged = ViolationReport.merge(reports)
+        assert len(merged) == 2
+        assert merged.raw_count == 6
+
+    def test_chained_extends_keep_counting(self):
+        total = ViolationReport()
+        for _ in range(3):
+            shard = ViolationReport()
+            shard.add(make_violation())
+            total.extend(shard)
+        assert len(total) == 1
+        assert total.raw_count == 3
+
+
+class TestJsonRoundTrip:
+    """``report_to_dict``/``report_from_dict`` (shard checkpoints)."""
+
+    def restored(self, report):
+        import json
+
+        from repro.report import report_from_dict, report_to_dict
+
+        # Through an actual JSON encode so only JSON-safe types survive.
+        return report_from_dict(json.loads(json.dumps(report_to_dict(report))))
+
+    def test_round_trip_preserves_everything(self):
+        report = ViolationReport()
+        report.add(make_violation())
+        report.add(make_violation())  # duplicate keeps raw_count honest
+        report.add(make_violation(("grid", 3), steps=(4, 5, 4), pattern="WWR"))
+        cycle = TraceCycleViolation(
+            location="Z",
+            cycle=(3, 1, 2),
+            closing_access=AccessInfo(step=9, access_type=WRITE, location="Z"),
+        )
+        report.add_cycle(cycle)
+        back = self.restored(report)
+        assert back.describe() == report.describe()
+        assert back.raw_count == report.raw_count
+        assert [v.key for v in back] == [v.key for v in report]
+
+    def test_round_trip_empty(self):
+        back = self.restored(ViolationReport())
+        assert not back and back.raw_count == 0
+
+    def test_restored_report_still_deduplicates(self):
+        report = ViolationReport()
+        report.add(make_violation())
+        back = self.restored(report)
+        assert not back.add(make_violation())  # same key: duplicate
+
+    def test_rejects_foreign_dict(self):
+        import pytest
+
+        from repro.report import report_from_dict
+
+        with pytest.raises(ValueError):
+            report_from_dict({"schema": "something-else/9"})

@@ -212,3 +212,99 @@ class TestFormatSelection:
             path = str(tmp_path / name)
             dump_trace(trace, path, format=format)
             assert len(load_trace(path)) == len(trace)
+
+
+class TestLenientReader:
+    """``strict=False``: undecodable lines are counted and skipped."""
+
+    def dump(self, trace, tmp_path, *extra_lines):
+        path = str(tmp_path / "trace.jsonl")
+        dump_trace_jsonl(trace, path)
+        if extra_lines:
+            with open(path, "a", encoding="utf-8") as handle:
+                for line in extra_lines:
+                    handle.write(line)
+        return path
+
+    def test_strict_reader_raises_on_garbage(self, trace, tmp_path):
+        path = self.dump(trace, tmp_path, "{broken json\n")
+        reader = open_trace(path)
+        with pytest.raises((TraceError, ValueError)):
+            list(reader.events())
+
+    def test_lenient_reader_skips_and_counts(self, trace, tmp_path):
+        path = self.dump(
+            trace, tmp_path, "{broken json\n", '{"valid": "but not an event"}\n'
+        )
+        reader = open_trace(path, strict=False)
+        events = list(reader.events())
+        assert len(events) == len(trace.events)
+        assert reader.lines_skipped == 2
+
+    def test_lenient_skips_truncated_tail(self, trace, tmp_path):
+        path = self.dump(trace, tmp_path)
+        with open(path, "r", encoding="utf-8") as handle:
+            content = handle.read()
+        # Simulate a crash mid-write: chop the final line in half.
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content[: len(content) - len(content.splitlines()[-1]) // 2 - 1])
+        reader = open_trace(path, strict=False)
+        events = list(reader.events())
+        assert len(events) == len(trace.events) - 1
+        assert reader.lines_skipped == 1
+
+    def test_lenient_memory_event_stream(self, trace, tmp_path):
+        path = self.dump(trace, tmp_path, "not json at all\n")
+        reader = open_trace(path, strict=False)
+        memory = list(reader.memory_events())
+        assert [e.seq for e in memory] == [
+            e.seq for e in trace.memory_events()
+        ]
+        assert reader.lines_skipped == 1
+
+    def test_lenient_sharded_scan_counts_once_per_pass(self, trace, tmp_path):
+        path = self.dump(trace, tmp_path, "garbage\n")
+        reader = open_trace(path, strict=False)
+        collected = []
+        for shard in range(2):
+            reader_pass = open_trace(path, strict=False)
+            collected.extend(reader_pass.memory_events(shard=shard, jobs=2))
+            assert reader_pass.lines_skipped == 1
+        assert len(collected) == len(trace.memory_events())
+
+
+class TestReaderLifecycle:
+    """close() / context-manager support (driver error paths)."""
+
+    def test_context_manager_closes(self, trace, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        dump_trace_jsonl(trace, path)
+        with open_trace(path) as reader:
+            assert list(reader.memory_events())
+            assert not reader.closed
+        assert reader.closed
+
+    def test_closed_reader_refuses_new_streams(self, trace, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        dump_trace_jsonl(trace, path)
+        reader = open_trace(path)
+        reader.close()
+        with pytest.raises(TraceError):
+            list(reader.events())
+
+    def test_close_is_idempotent(self, trace, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        dump_trace_jsonl(trace, path)
+        reader = open_trace(path)
+        reader.close()
+        reader.close()
+        assert reader.closed
+
+    def test_close_releases_live_handles(self, trace, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        dump_trace_jsonl(trace, path)
+        reader = open_trace(path)
+        stream = reader.events()
+        next(stream)  # handle now open mid-iteration
+        reader.close()
+        assert reader.closed
