@@ -447,7 +447,7 @@ def _print_metrics_stats(data: dict) -> int:
         for name in sorted(snapshot.histograms):
             hist = snapshot.histograms[name]
             print(
-                f"  {name:<42} n={hist.count} mean={hist.mean():g} "
+                f"  {name:<42} n={hist.count} mean={hist.mean:g} "
                 f"min={hist.min:g} max={hist.max:g}"
             )
     if snapshot.spans:
@@ -578,6 +578,63 @@ def cmd_fig14(args: argparse.Namespace) -> int:
 
     fig14.main([str(args.scale or 2), str(args.repeats)])
     return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential fuzzing: generate programs, cross-check every config.
+
+    Exit status 1 on any oracle disagreement (the fuzz-smoke CI job keys
+    off it); with ``--shrink`` every disagreement is also minimized and
+    written next to ``--report-dir`` as a ready-to-paste pytest module.
+    """
+    import json
+    import os
+
+    from repro.fuzz import FuzzConfig, run_campaign
+
+    config = FuzzConfig(
+        tasks=args.tasks,
+        depth=args.depth,
+        locations=args.locations,
+        locks=args.locks,
+        lock_density=args.lock_density,
+        seed=args.seed,
+    )
+    recorder = _metrics_recorder(args)
+    progress = None
+    if args.verbose:
+        def progress(index: int, outcome) -> None:
+            status = "ok" if outcome.ok else "DISAGREEMENT"
+            print(
+                f"  run {index + 1}/{args.runs} seed={outcome.seed} "
+                f"events={outcome.events} {status}"
+            )
+
+    summary = run_campaign(
+        config=config,
+        runs=args.runs,
+        base_seed=args.seed,
+        jobs=args.jobs,
+        shrink=args.shrink,
+        recorder=recorder,
+        progress=progress,
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"campaign summary written to {args.json}")
+    print(summary.describe())
+    if summary.reproducers:
+        os.makedirs(args.report_dir, exist_ok=True)
+        for seed, (result, source) in summary.reproducers.items():
+            path = os.path.join(
+                args.report_dir, f"reproducer_seed_{seed}.py"
+            )
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(source)
+            print(f"reproducer written to {path} ({result.describe()})")
+    _dump_metrics(recorder, args)
+    return 0 if summary.ok else 1
 
 
 def cmd_ablation(args: argparse.Namespace) -> int:
@@ -758,6 +815,62 @@ def build_parser() -> argparse.ArgumentParser:
     fig14.add_argument("--scale", type=int, default=None)
     fig14.add_argument("--repeats", type=int, default=3)
     fig14.set_defaults(handler=cmd_fig14)
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="differential fuzzing: random programs through every "
+        "checker/engine/sharding configuration",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=1,
+        help="campaign base seed; per-run seeds derive from it (default: 1)",
+    )
+    fuzz.add_argument(
+        "--runs", type=int, default=100,
+        help="number of generated programs (default: 100)",
+    )
+    fuzz.add_argument(
+        "--jobs", type=int, default=4,
+        help="workers for the sharded oracle leg; <=1 skips it (default: 4)",
+    )
+    fuzz.add_argument(
+        "--shrink", action="store_true",
+        help="delta-debug every disagreement into a minimal pytest reproducer",
+    )
+    fuzz.add_argument(
+        "--json", metavar="OUT.json", default=None,
+        help="write the machine-readable campaign summary here",
+    )
+    fuzz.add_argument(
+        "--report-dir", metavar="DIR", default="fuzz-reports",
+        help="directory for shrunk reproducer modules (default: fuzz-reports)",
+    )
+    fuzz.add_argument(
+        "--metrics", metavar="OUT.json", default=None,
+        help="collect fuzz.* observability metrics and write the snapshot here",
+    )
+    fuzz.add_argument("--verbose", action="store_true", help="print per-run progress")
+    fuzz.add_argument(
+        "--tasks", type=int, default=6,
+        help="generator: spawn budget per program (default: 6)",
+    )
+    fuzz.add_argument(
+        "--depth", type=int, default=3,
+        help="generator: maximum nesting depth (default: 3)",
+    )
+    fuzz.add_argument(
+        "--locations", type=int, default=3,
+        help="generator: shared locations per program (default: 3)",
+    )
+    fuzz.add_argument(
+        "--locks", type=int, default=2,
+        help="generator: lock pool size (default: 2)",
+    )
+    fuzz.add_argument(
+        "--lock-density", type=float, default=0.4,
+        help="generator: probability an access is lock-protected (default: 0.4)",
+    )
+    fuzz.set_defaults(handler=cmd_fuzz)
 
     ablation = commands.add_parser("ablation", help="DESIGN.md ablations")
     ablation.add_argument("which", choices=("lca_cache", "metadata"))

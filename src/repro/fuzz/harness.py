@@ -1,0 +1,149 @@
+"""The fuzzing campaign driver behind ``repro fuzz`` and CI's fuzz-smoke.
+
+:func:`run_campaign` derives one sub-seed per run from the base seed
+(deterministically -- the whole campaign is reproducible from
+``--seed``), generates a program, pushes it through the differential
+oracle, and optionally shrinks every disagreement into a ready-to-paste
+pytest reproducer.  Observability rides along through the standard
+:class:`repro.obs.Recorder` protocol under the ``fuzz.*`` metric names.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.fuzz.generate import FuzzConfig, ProgramGenerator
+from repro.fuzz.oracle import OracleOutcome, check_spec
+from repro.fuzz.shrink import ShrinkResult, reproducer_source, shrink_spec
+
+
+@dataclass
+class FuzzSummary:
+    """Aggregate outcome of one fuzzing campaign."""
+
+    base_seed: int
+    runs: int
+    config: FuzzConfig
+    jobs: int
+    #: Total memory events checked across all runs.
+    events: int = 0
+    elapsed_s: float = 0.0
+    #: Failing outcomes, in discovery order.
+    failures: List[OracleOutcome] = field(default_factory=list)
+    #: seed -> (shrink result, reproducer module source).
+    reproducers: Dict[int, Tuple[ShrinkResult, str]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def disagreements(self) -> int:
+        return sum(len(outcome.disagreements) for outcome in self.failures)
+
+    def describe(self) -> str:
+        head = (
+            f"fuzz campaign: {self.runs} run(s) from seed {self.base_seed}, "
+            f"{self.events} event(s) checked in {self.elapsed_s:.1f}s"
+        )
+        if self.ok:
+            return f"{head}\nall configurations agree"
+        lines = [head, f"{self.disagreements} disagreement(s):"]
+        for outcome in self.failures:
+            lines.append(outcome.describe())
+            shrunk = self.reproducers.get(outcome.seed or -1)
+            if shrunk is not None:
+                lines.append(f"  {shrunk[0].describe()}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "base_seed": self.base_seed,
+            "runs": self.runs,
+            "jobs": self.jobs,
+            "config": self.config.to_dict(),
+            "events": self.events,
+            "elapsed_s": self.elapsed_s,
+            "ok": self.ok,
+            "disagreements": self.disagreements,
+            "failures": [outcome.to_dict() for outcome in self.failures],
+            "reproducers": {
+                str(seed): {
+                    "steps": result.steps,
+                    "events": result.events,
+                    "tasks": result.tasks,
+                    "source": source,
+                }
+                for seed, (result, source) in self.reproducers.items()
+            },
+        }
+
+
+def campaign_seeds(base_seed: int, runs: int) -> List[int]:
+    """The per-run seeds of a campaign: deterministic in *base_seed*."""
+    rng = random.Random(base_seed)
+    return [rng.randrange(2**32) for _ in range(runs)]
+
+
+def run_campaign(
+    config: Optional[FuzzConfig] = None,
+    runs: int = 100,
+    base_seed: int = 1,
+    jobs: int = 4,
+    shrink: bool = False,
+    recorder: Any = None,
+    max_failures: int = 5,
+    progress: Optional[Callable[[int, OracleOutcome], None]] = None,
+) -> FuzzSummary:
+    """Fuzz *runs* programs; return the campaign summary.
+
+    Stops collecting (but keeps counting) after *max_failures* failing
+    programs so a systematically broken configuration cannot turn one
+    campaign into thousands of shrink jobs.  *progress*, when given, is
+    called after every run with ``(index, outcome)``.
+    """
+    config = config or FuzzConfig()
+    generator = ProgramGenerator(config)
+    summary = FuzzSummary(
+        base_seed=base_seed, runs=runs, config=config, jobs=jobs
+    )
+    started = time.perf_counter()
+    for index, seed in enumerate(campaign_seeds(base_seed, runs)):
+        spec = generator.generate_spec(seed)
+        outcome = check_spec(spec, seed=seed, jobs=jobs, recorder=recorder)
+        summary.events += outcome.events
+        if not outcome.ok and len(summary.failures) < max_failures:
+            summary.failures.append(outcome)
+            if shrink:
+                result = shrink_disagreement(
+                    outcome, jobs=jobs, recorder=recorder
+                )
+                summary.reproducers[seed] = (
+                    result,
+                    reproducer_source(result.spec, seed=seed, jobs=jobs),
+                )
+        if progress is not None:
+            progress(index, outcome)
+    summary.elapsed_s = time.perf_counter() - started
+    return summary
+
+
+def shrink_disagreement(
+    outcome: OracleOutcome,
+    jobs: int = 4,
+    recorder: Any = None,
+    max_attempts: int = 5000,
+) -> ShrinkResult:
+    """Reduce a failing outcome's spec to a 1-minimal disagreement."""
+
+    def still_fails(spec: Any) -> bool:
+        return not check_spec(
+            spec, seed=outcome.seed, jobs=jobs, recorder=None
+        ).ok
+
+    return shrink_spec(
+        outcome.spec, still_fails, max_attempts=max_attempts, recorder=recorder
+    )

@@ -160,6 +160,12 @@ METRIC_NAMES: Dict[str, str] = {
     "static.prefilter.locations": "locations the dynamic check skipped as schedule-serial",
     "static.prefilter.events_skipped": "memory events dropped by the static prefilter",
     "static.prefilter.disabled": "prefilter requests refused for safety (imprecise lint or non-trivial annotations)",
+    # differential fuzzing (repro fuzz / repro.fuzz)
+    "fuzz.runs": "programs pushed through the differential oracle",
+    "fuzz.comparisons": "oracle legs compared against the reference verdict",
+    "fuzz.events_checked": "memory events in the oracle's reference traces",
+    "fuzz.disagreements": "broken equivalences found by the oracle",
+    "fuzz.shrink_steps": "accepted delta-debugging reductions while minimizing reproducers",
 }
 
 #: Counters whose totals legitimately differ between ``jobs=1`` and

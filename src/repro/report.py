@@ -273,6 +273,74 @@ def merge_reports(reports: Iterable[ViolationReport]) -> ViolationReport:
 
 
 # ---------------------------------------------------------------------------
+# Normalization (equivalence comparisons)
+# ---------------------------------------------------------------------------
+#
+# Two reports produced by different pipeline configurations (engines,
+# sharding, prefilter, replay) must be comparable without depending on
+# first-seen order, dict iteration order, or the mutual orderability of
+# heterogeneous location values.  The canonical forms below are what the
+# equivalence tests and the differential fuzzing oracle
+# (:mod:`repro.fuzz.oracle`) compare.
+
+
+def location_key(location: Location) -> str:
+    """A totally-ordered, type-stable key for any location value."""
+    return repr(location)
+
+
+def normalize_report(report: ViolationReport) -> Tuple[Tuple[Any, ...], Tuple[Any, ...]]:
+    """The canonical order-independent form of *report*.
+
+    Returns ``(triples, cycles)`` where ``triples`` is the sorted tuple of
+    ``(location_key, pattern, first_step, second_step, third_step)`` rows
+    and ``cycles`` the sorted tuple of ``(location_key, sorted_cycle)``
+    rows.  Two reports over the *same* trace are equivalent iff their
+    normal forms are equal, regardless of the order violations were found
+    in or which pipeline configuration found them.
+    """
+    triples = tuple(
+        sorted(
+            (
+                location_key(v.location),
+                v.pattern,
+                v.first.step,
+                v.second.step,
+                v.third.step,
+            )
+            for v in report.violations
+        )
+    )
+    cycles = tuple(
+        sorted(
+            (location_key(c.location), tuple(sorted(c.cycle)))
+            for c in report.cycles
+        )
+    )
+    return (triples, cycles)
+
+
+def normalize_locations(locations: Iterable[Location]) -> Tuple[str, ...]:
+    """Sorted distinct :func:`location_key` values of a location iterable.
+
+    For comparing a report's implicated locations against analyses that
+    produce bare location sets (the analytic oracle, the interleaving
+    explorer) on equal, totally-ordered footing.
+    """
+    return tuple(sorted({location_key(loc) for loc in locations}))
+
+
+def normalized_locations(report: ViolationReport) -> Tuple[str, ...]:
+    """Sorted distinct :func:`location_key` values implicated in *report*.
+
+    The right granularity for comparing analyses that agree on *where*
+    violations exist but legitimately differ in which witness triples they
+    surface (e.g. the basic checker vs the optimized checker).
+    """
+    return normalize_locations(report.locations())
+
+
+# ---------------------------------------------------------------------------
 # JSON round-trip (shard checkpoints, external tooling)
 # ---------------------------------------------------------------------------
 #

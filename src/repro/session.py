@@ -205,6 +205,7 @@ class CheckSession:
         self,
         checker: Optional[CheckerSpec] = None,
         jobs: Optional[int] = None,
+        engine: Optional[str] = None,
         static_prefilter: Any = False,
         checkpoint_dir: Optional[str] = None,
         resume: bool = False,
@@ -216,10 +217,15 @@ class CheckSession:
     ) -> ViolationReport:
         """Run one checker over the source; return (and remember) its report.
 
-        *checker* / *jobs* default to the session's settings;
+        *checker* / *jobs* / *engine* default to the session's settings;
         ``checker_kwargs`` are forwarded to checker construction (names
         and classes only).  Repeated calls reuse the recorded trace, so a
-        program source executes exactly once per session.
+        program source executes exactly once per session.  The per-call
+        *engine* override lets one session compare the ``"lca"`` and
+        ``"labels"`` parallelism engines over the same recorded trace
+        (the differential fuzzing oracle does exactly that); it applies
+        to offline replays -- a program source's recording engine stays
+        the session's.
 
         ``static_prefilter`` drops events on locations the static lint
         pass proves schedule-serial before the dynamic check runs:
@@ -242,6 +248,7 @@ class CheckSession:
         if checker_kwargs:
             spec = make_checker(spec, **checker_kwargs)
         jobs = self.jobs if jobs is None else jobs
+        engine = self.engine if engine is None else engine
         skip = self._resolve_prefilter(static_prefilter)
         fault_options = dict(
             checkpoint_dir=checkpoint_dir,
@@ -257,9 +264,9 @@ class CheckSession:
 
             self._span_dpst_build()
             with self.recorder.span(SPAN_CHECK):
-                report = self._dispatch(spec, jobs, skip, fault_options)
+                report = self._dispatch(spec, jobs, engine, skip, fault_options)
         else:
-            report = self._dispatch(spec, jobs, skip, fault_options)
+            report = self._dispatch(spec, jobs, engine, skip, fault_options)
         self.reports[checker_name_of(spec)] = report
         return report
 
@@ -267,19 +274,20 @@ class CheckSession:
         self,
         spec: CheckerSpec,
         jobs: Optional[int],
+        engine: str,
         skip_locations: Optional[frozenset] = None,
         fault_options: Optional[Dict[str, Any]] = None,
     ) -> ViolationReport:
         fault_options = fault_options or {}
         if jobs == 1 and not fault_options.get("checkpoint_dir"):
-            return self._check_in_process(spec, skip_locations)
+            return self._check_in_process(spec, engine, skip_locations)
         return check_sharded(
             self._sharded_source(),
             checker=spec,
             jobs=jobs,
             annotations=self.annotations,
             lca_cache=self.lca_cache,
-            parallel_engine=self.engine,
+            parallel_engine=engine,
             recorder=self.recorder,
             skip_locations=skip_locations,
             **fault_options,
@@ -315,7 +323,10 @@ class CheckSession:
         return self.trace  # program: record, then shard the trace
 
     def _check_in_process(
-        self, spec: CheckerSpec, skip_locations: Optional[frozenset] = None
+        self,
+        spec: CheckerSpec,
+        engine: Optional[str] = None,
+        skip_locations: Optional[frozenset] = None,
     ) -> ViolationReport:
         """jobs=1: stream file sources, replay in-memory ones."""
         analysis = make_checker(spec)
@@ -340,7 +351,7 @@ class CheckSession:
             dpst=dpst,
             annotations=self.annotations,
             lca_cache=self.lca_cache,
-            parallel_engine=self.engine,
+            parallel_engine=self.engine if engine is None else engine,
             recorder=self.recorder,
         )
         if streaming and self.recorder.enabled:

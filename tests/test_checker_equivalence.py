@@ -19,6 +19,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.checker import BasicAtomicityChecker, OptAtomicityChecker
+from repro.report import normalize_locations, normalize_report, normalized_locations
 from repro.runtime import RandomOrderExecutor, SerialExecutor, run_program
 from repro.trace.explore import (
     analytic_violation_locations,
@@ -41,7 +42,9 @@ def trace_for(config, seed):
 
 
 def checker_locations(trace, checker):
-    return set(replay_trace(trace, checker).locations())
+    # Order-independent canonical form exported by repro.report -- the
+    # same normalizer the differential fuzzing oracle compares with.
+    return normalized_locations(replay_trace(trace, checker))
 
 
 @given(seed=st.integers(min_value=0, max_value=10_000))
@@ -50,7 +53,7 @@ def test_basic_equals_thorough_equals_analytic_lockfree(seed):
     trace = trace_for(LOCKFREE, seed)
     basic = checker_locations(trace, BasicAtomicityChecker())
     thorough = checker_locations(trace, OptAtomicityChecker(mode="thorough"))
-    analytic = analytic_violation_locations(trace)
+    analytic = normalize_locations(analytic_violation_locations(trace))
     assert basic == thorough == analytic
 
 
@@ -60,7 +63,7 @@ def test_basic_equals_thorough_equals_analytic_with_locks(seed):
     trace = trace_for(SMALL, seed)
     basic = checker_locations(trace, BasicAtomicityChecker())
     thorough = checker_locations(trace, OptAtomicityChecker(mode="thorough"))
-    analytic = analytic_violation_locations(trace)
+    analytic = normalize_locations(analytic_violation_locations(trace))
     assert basic == thorough == analytic
 
 
@@ -72,7 +75,12 @@ def test_wide_programs_agree(seed):
     thorough = checker_locations(trace, OptAtomicityChecker(mode="thorough"))
     assert basic == thorough
     paper = checker_locations(trace, OptAtomicityChecker(mode="paper"))
-    assert paper <= thorough
+    assert set(paper) <= set(thorough)
+    # Same trace, same checker: the full triple-level normal form must be
+    # reproducible, not just the location set.
+    thorough_report = replay_trace(trace, OptAtomicityChecker(mode="thorough"))
+    again = replay_trace(trace, OptAtomicityChecker(mode="thorough"))
+    assert normalize_report(thorough_report) == normalize_report(again)
 
 
 @given(seed=st.integers(min_value=0, max_value=2_000))
@@ -89,7 +97,7 @@ def test_explorer_agrees_on_small_programs(seed):
     if explorer.truncated:
         return  # bounded exploration cannot serve as ground truth
     analytic = analytic_violation_locations(trace)
-    assert explored == analytic
+    assert normalize_locations(explored) == normalize_locations(analytic)
 
 
 @given(seed=st.integers(min_value=0, max_value=5_000))
@@ -116,8 +124,10 @@ def test_verdict_schedule_insensitive(seed):
         result = run_program(
             program, executor=executor, observers=[thorough, paper]
         )
-        thorough_verdicts.append(set(thorough.report.locations()))
-        assert set(paper.report.locations()) <= set(thorough.report.locations())
+        thorough_verdicts.append(normalized_locations(thorough.report))
+        assert set(normalized_locations(paper.report)) <= set(
+            normalized_locations(thorough.report)
+        )
     assert thorough_verdicts[0] == thorough_verdicts[1] == thorough_verdicts[2]
 
 
@@ -127,7 +137,7 @@ def test_paper_mode_subset_of_thorough(seed):
     trace = trace_for(SMALL, seed)
     paper = checker_locations(trace, OptAtomicityChecker(mode="paper"))
     thorough = checker_locations(trace, OptAtomicityChecker(mode="thorough"))
-    assert paper <= thorough
+    assert set(paper) <= set(thorough)
 
 
 @given(seed=st.integers(min_value=0, max_value=5_000))

@@ -405,3 +405,97 @@ class TestStaticPrefilterFlag:
         assert code == 1
         assert "Atomicity violation" in out
         assert "static prefilter" in out
+
+
+class TestStatsHistograms:
+    def test_stats_renders_histograms(self, tmp_path, capsys):
+        # Regression: Histogram.mean is a property; the stats renderer
+        # used to call it and crash on any snapshot with histograms.
+        from repro.obs import MetricsRecorder
+
+        recorder = MetricsRecorder()
+        recorder.count("fuzz.runs", 3)
+        recorder.observe("worker.elapsed_s", 0.25)
+        recorder.observe("worker.elapsed_s", 0.75)
+        path = tmp_path / "metrics.json"
+        recorder.snapshot().dump(str(path))
+
+        code = main(["stats", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mean=0.5" in out
+
+
+class TestFuzzCommand:
+    def test_clean_campaign_exit_0(self, tmp_path, capsys):
+        import json
+
+        summary_file = tmp_path / "summary.json"
+        metrics_file = tmp_path / "metrics.json"
+        code = main([
+            "fuzz", "--seed", "1", "--runs", "5", "--jobs", "1",
+            "--json", str(summary_file), "--metrics", str(metrics_file),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all configurations agree" in out
+
+        summary = json.loads(summary_file.read_text())
+        assert summary["ok"] is True
+        assert summary["runs"] == 5
+        assert summary["events"] > 0
+        assert summary["config"]["tasks"] == 6
+
+        metrics = json.loads(metrics_file.read_text())
+        assert metrics["counters"]["fuzz.runs"] == 5
+
+    def test_generator_knobs_are_wired(self, tmp_path, capsys):
+        import json
+
+        summary_file = tmp_path / "summary.json"
+        code = main([
+            "fuzz", "--seed", "3", "--runs", "2", "--jobs", "1",
+            "--tasks", "2", "--depth", "1", "--locations", "1",
+            "--locks", "0", "--lock-density", "0.0",
+            "--json", str(summary_file),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        summary = json.loads(summary_file.read_text())
+        assert summary["config"]["tasks"] == 2
+        assert summary["config"]["locations"] == 1
+
+    def test_disagreement_exits_1_and_writes_reproducer(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.fuzz.oracle import check_spec as real_check_spec
+        from repro.report import ViolationReport
+        from repro.runtime.observer import RuntimeObserver
+
+        class Blind(RuntimeObserver):
+            def __init__(self):
+                self.report = ViolationReport()
+
+            def on_memory(self, event):
+                pass
+
+        def sabotaged(spec, seed=None, jobs=4, recorder=None, **kwargs):
+            return real_check_spec(
+                spec, seed=seed, jobs=1, recorder=recorder,
+                extra_checkers={"blind": Blind}, schedules=False,
+            )
+
+        import repro.fuzz.harness as harness
+
+        monkeypatch.setattr(harness, "check_spec", sabotaged)
+        report_dir = tmp_path / "reports"
+        code = main([
+            "fuzz", "--seed", "1", "--runs", "4", "--jobs", "1", "--shrink",
+            "--report-dir", str(report_dir),
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "disagreement" in out
+        written = list(report_dir.glob("reproducer_seed_*.py"))
+        assert written, "shrunk reproducers must land in --report-dir"
+        assert "def test_fuzz_reproducer" in written[0].read_text()

@@ -133,3 +133,70 @@ def test_engine_cache_transparent(script):
             assert cached.parallel(a, b) == uncached.parallel(a, b)
             # Ask twice: the memoized answer must be stable.
             assert cached.parallel(a, b) == cached.parallel(b, a)
+
+
+# ---------------------------------------------------------------------------
+# Generator-driven MHP properties
+#
+# The fuzzing generator produces whole task-parallel programs (spawns,
+# syncs, nested finishes, locks) rather than raw insertion scripts, so
+# these trees exercise exactly the shapes the runtime builds.  Seeds are
+# pinned: failures reproduce byte-for-byte.
+# ---------------------------------------------------------------------------
+
+import pytest
+
+from repro.dpst import LabelEngine
+from repro.fuzz import FuzzConfig, ProgramGenerator, program_from_spec
+from repro.runtime.executor import SerialExecutor
+from repro.runtime.program import run_program
+
+PINNED_SEEDS = [0, 1, 2, 7, 11, 42, 1234]
+
+
+def _fuzzed_dpst(seed):
+    config = FuzzConfig(tasks=8, depth=3, locations=4, seed=seed)
+    spec = ProgramGenerator(config).generate_spec(seed)
+    result = run_program(
+        program_from_spec(spec), executor=SerialExecutor(), record_trace=True
+    )
+    return result.dpst
+
+
+@pytest.mark.parametrize("seed", PINNED_SEEDS)
+def test_fuzzed_mhp_symmetric_irreflexive_on_steps(seed):
+    tree = _fuzzed_dpst(seed)
+    tree.validate()
+    steps = tree.step_nodes()
+    for a in steps:
+        assert not relation.parallel(tree, a, a)
+        for b in steps:
+            assert relation.parallel(tree, a, b) == relation.parallel(tree, b, a)
+
+
+@pytest.mark.parametrize("seed", PINNED_SEEDS)
+def test_fuzzed_steps_trichotomy(seed):
+    tree = _fuzzed_dpst(seed)
+    steps = tree.step_nodes()
+    for a in steps:
+        for b in steps:
+            if a == b:
+                continue
+            verdicts = (
+                relation.parallel(tree, a, b),
+                relation.precedes(tree, a, b),
+                relation.precedes(tree, b, a),
+            )
+            assert sum(verdicts) == 1
+
+
+@pytest.mark.parametrize("seed", PINNED_SEEDS)
+def test_fuzzed_lca_and_label_engines_agree(seed):
+    tree = _fuzzed_dpst(seed)
+    lca = LCAEngine(tree)
+    labels = LabelEngine(tree)
+    steps = tree.step_nodes()
+    for a in steps:
+        for b in steps:
+            assert lca.parallel(a, b) == labels.parallel(a, b), (seed, a, b)
+            assert lca.precedes(a, b) == labels.precedes(a, b), (seed, a, b)

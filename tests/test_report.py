@@ -221,3 +221,59 @@ class TestJsonRoundTrip:
 
         with pytest.raises(ValueError):
             report_from_dict({"schema": "something-else/9"})
+
+
+class TestNormalization:
+    """The canonical forms the equivalence tests and fuzz oracle compare."""
+
+    def test_normal_form_is_insertion_order_independent(self):
+        from repro.report import normalize_report
+
+        forward = ViolationReport()
+        backward = ViolationReport()
+        violations = [
+            make_violation("X", steps=(1, 2, 1)),
+            make_violation("Y", steps=(4, 5, 4)),
+            make_violation("X", steps=(7, 8, 7), pattern="RWR"),
+        ]
+        for v in violations:
+            forward.add(v)
+        for v in reversed(violations):
+            backward.add(v)
+        assert normalize_report(forward) == normalize_report(backward)
+
+    def test_normal_form_distinguishes_different_triples(self):
+        from repro.report import normalize_report
+
+        one = ViolationReport()
+        one.add(make_violation("X", steps=(1, 2, 1)))
+        other = ViolationReport()
+        other.add(make_violation("X", steps=(1, 3, 1)))
+        assert normalize_report(one) != normalize_report(other)
+
+    def test_normalized_locations_deduplicates_and_sorts(self):
+        from repro.report import normalized_locations
+
+        report = ViolationReport()
+        report.add(make_violation("Y"))
+        report.add(make_violation("X"))
+        report.add(make_violation("X", pattern="RWR"))
+        assert normalized_locations(report) == ("'X'", "'Y'")
+
+    def test_heterogeneous_locations_are_orderable(self):
+        from repro.report import normalize_locations
+
+        # Tuples and strings are not mutually orderable; the string key
+        # must make one canonical order anyway.
+        keys = normalize_locations([("g", 1), "X", ("g", 0)])
+        assert list(keys) == sorted(keys)
+        assert len(keys) == 3
+
+    def test_cycles_participate_in_the_normal_form(self):
+        from repro.report import normalize_report
+
+        closing = AccessInfo(step=3, access_type=WRITE, location="X")
+        with_cycle = ViolationReport()
+        with_cycle.add_cycle(TraceCycleViolation("X", (1, 2, 3), closing))
+        without = ViolationReport()
+        assert normalize_report(with_cycle) != normalize_report(without)

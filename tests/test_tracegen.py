@@ -36,6 +36,46 @@ class TestDeterminism:
             e.location for e in second.memory_events()
         ]
 
+    def test_same_seed_identical_traces_field_for_field(self):
+        """Regression: all randomness flows through the injected rng.
+
+        An audit (2026-08) found no unseeded ``random.*`` usage in
+        ``repro.suite`` or ``repro.trace.generator``; this pins that down
+        by requiring two same-seed generate+record runs to produce
+        *identical* event streams -- every field, locksets included --
+        not just matching locations.
+        """
+        events = []
+        for _ in range(2):
+            generator = TraceGenerator(GeneratorConfig(tasks=5, seed=23))
+            trace = generator.generate_trace()
+            events.append(
+                [
+                    (e.seq, e.task, e.step, e.location, e.access_type, e.lockset)
+                    for e in trace.memory_events()
+                ]
+            )
+        assert events[0] == events[1]
+        assert events[0], "a seeded run must record at least one event"
+
+    def test_same_seed_identical_traces_under_random_executor(self):
+        from repro.runtime import RandomOrderExecutor
+
+        generator = TraceGenerator(GeneratorConfig(tasks=5, seed=23))
+        streams = []
+        for _ in range(2):
+            program = generator.generate_program(seed=23)
+            result = run_program(
+                program, executor=RandomOrderExecutor(seed=99), record_trace=True
+            )
+            streams.append(
+                [
+                    (e.seq, e.task, e.location, e.access_type, e.lockset)
+                    for e in result.trace.memory_events()
+                ]
+            )
+        assert streams[0] == streams[1]
+
 
 class TestShapeControls:
     def test_task_budget_respected(self):
