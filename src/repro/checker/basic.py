@@ -78,9 +78,13 @@ class BasicAtomicityChecker(RuntimeObserver):
     # -- observer wiring ----------------------------------------------------
 
     def on_run_begin(self, run) -> None:
-        if run.lca_engine is None:
-            raise CheckerError("BasicAtomicityChecker requires a DPST/LCA engine")
-        self._engine = run.lca_engine
+        engine = getattr(run, "engine", None)
+        if engine is None or not callable(getattr(engine, "parallel", None)):
+            raise CheckerError(
+                "BasicAtomicityChecker requires a parallelism engine "
+                "(any repro.dpst.engines.ParallelismEngine)"
+            )
+        self._engine = engine
         self._annotations = run.annotations or AtomicAnnotations()
         self._annotations_trivial = self._annotations.trivial
 

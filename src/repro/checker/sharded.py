@@ -351,8 +351,11 @@ def check_sharded(
         Worker process count; ``None`` means one per usable CPU (cgroup
         aware); ``1`` checks in-process with no multiprocessing at all.
     annotations / lca_cache / parallel_engine:
-        Forwarded to replay; annotations also steer the sharding key so
-        multi-variable groups stay together.
+        Forwarded to replay; *parallel_engine* may be any name in
+        :func:`repro.dpst.engines.available_engines` (each worker builds
+        its own engine over its shard via the registry), and annotations
+        also steer the sharding key so multi-variable groups stay
+        together.
     recorder:
         Optional :class:`repro.obs.Recorder`.  When enabled, each worker
         collects a private per-shard snapshot (counters, gauges, spans)

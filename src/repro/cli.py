@@ -139,9 +139,12 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_engine_option(parser: argparse.ArgumentParser) -> None:
+    from repro.dpst.engines import available_engines
+
+    choices = available_engines()
     parser.add_argument(
-        "--engine", choices=("lca", "labels"), default="lca",
-        help="parallelism-query engine (default: lca)",
+        "--engine", choices=choices, default="lca",
+        help="parallelism-query engine: %s (default: lca)" % ", ".join(choices),
     )
 
 
@@ -257,7 +260,11 @@ def cmd_suite(args: argparse.Namespace) -> int:
         if args.category and case.category != args.category:
             continue
         checker = make_checker(args.checker)
-        result = run_program(case.build(), observers=[checker])
+        result = run_program(
+            case.build(),
+            observers=[checker],
+            parallel_engine=getattr(args, "engine", "lca"),
+        )
         found = set(result.report().locations())
         ok = found == set(case.expected)
         mismatches += 0 if ok else 1
@@ -618,6 +625,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         shrink=args.shrink,
         recorder=recorder,
         progress=progress,
+        engine=args.engine,
     )
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -671,6 +679,7 @@ def build_parser() -> argparse.ArgumentParser:
     suite = commands.add_parser("suite", help="run the 36-program violation suite")
     suite.add_argument("--category", help="restrict to one category")
     suite.add_argument("--checker", choices=CHECKER_NAMES, default="optimized")
+    _add_engine_option(suite)
     suite.set_defaults(handler=cmd_suite)
 
     workload = commands.add_parser("workload", help="run a benchmark kernel")
@@ -850,6 +859,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect fuzz.* observability metrics and write the snapshot here",
     )
     fuzz.add_argument("--verbose", action="store_true", help="print per-run progress")
+    _add_engine_option(fuzz)
     fuzz.add_argument(
         "--tasks", type=int, default=6,
         help="generator: spawn budget per program (default: 6)",

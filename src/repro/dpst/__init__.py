@@ -21,9 +21,11 @@ Figure 14 ablation:
 * :class:`~repro.dpst.array.ArrayDPST`   -- the paper's optimized layout, a
   linear array of nodes with parent *indices* instead of pointers.
 
-Both satisfy the :class:`~repro.dpst.base.DPSTBase` interface, and
-:class:`~repro.dpst.lca.LCAEngine` provides (optionally cached) least common
-ancestor and parallelism queries over either.
+Both satisfy the :class:`~repro.dpst.base.DPSTBase` interface, and four
+registered parallelism engines answer (optionally cached) series-parallel
+queries over either -- see :mod:`repro.dpst.engines` for the
+:class:`~repro.dpst.engines.ParallelismEngine` protocol and the
+``register_engine`` / ``available_engines`` / ``make_engine`` registry.
 """
 
 from repro.dpst.nodes import NodeKind, ROOT_ID, NULL_ID
@@ -31,8 +33,18 @@ from repro.dpst.base import DPSTBase
 from repro.dpst.linked import LinkedDPST
 from repro.dpst.array import ArrayDPST
 from repro.dpst.stats import EngineStats
+from repro.dpst.engines import (
+    ParallelismEngine,
+    UnknownEngineError,
+    available_engines,
+    engine_name_of,
+    make_engine,
+    register_engine,
+)
 from repro.dpst.lca import LCAEngine, LCAStats
 from repro.dpst.labels import LabelEngine
+from repro.dpst.vclock import VectorClockEngine
+from repro.dpst.depa import DePaEngine
 from repro.dpst.relation import lca, parallel, precedes, left_of
 
 __all__ = [
@@ -42,14 +54,22 @@ __all__ = [
     "ROOT_ID",
     "NULL_ID",
     "DPSTBase",
+    "DePaEngine",
     "LinkedDPST",
     "ArrayDPST",
     "LCAEngine",
     "LCAStats",
+    "ParallelismEngine",
+    "UnknownEngineError",
+    "VectorClockEngine",
+    "available_engines",
+    "engine_name_of",
     "lca",
+    "make_engine",
     "parallel",
     "precedes",
     "left_of",
+    "register_engine",
 ]
 
 

@@ -82,6 +82,7 @@ class LabelEngine:
     """
 
     #: Interface marker checked by tests; mirrors LCAEngine.
+    engine_name = "labels"
     cache_enabled = True
 
     def __init__(self, tree: DPSTBase, cache: bool = True) -> None:

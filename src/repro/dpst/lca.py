@@ -41,6 +41,8 @@ class LCAEngine:
         LCA-cache ablation benchmark.
     """
 
+    engine_name = "lca"
+
     def __init__(self, tree: DPSTBase, cache: bool = True) -> None:
         self.tree = tree
         self.cache_enabled = cache

@@ -1,18 +1,17 @@
 """Unified statistics of a parallelism-query engine.
 
-Both engines -- the tree-walking :class:`~repro.dpst.lca.LCAEngine` and
-the label-comparing :class:`~repro.dpst.labels.LabelEngine` -- answer the
-same ``parallel(a, b)`` queries and account for them with the same three
+Every registered engine (see :mod:`repro.dpst.engines`) answers the same
+``parallel(a, b)`` queries and accounts for them with the same three
 counters, which produce Table 1's columns and feed the observability
 layer's ``engine.*`` metrics (:mod:`repro.obs`).  One exported dataclass
-keeps the two surfaces field-for-field identical; ``LCAStats`` remains as
+keeps all the surfaces field-for-field identical; ``LCAStats`` remains as
 a backwards-compatible alias in :mod:`repro.dpst.lca`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 
 @dataclass
@@ -48,10 +47,20 @@ class EngineStats:
         self.unique += other.unique
         self.hops += other.hops
 
-    def as_metrics(self) -> Dict[str, int]:
-        """The canonical ``engine.*`` metric mapping (see repro.obs)."""
-        return {
+    def as_metrics(self, engine_name: Optional[str] = None) -> Dict[str, int]:
+        """The canonical ``engine.*`` metric mapping (see repro.obs).
+
+        With *engine_name* the aggregate counters are accompanied by
+        per-engine ``engine.<name>.*`` entries, so snapshots mixing
+        engines stay distinguishable (``repro stats`` renders both).
+        """
+        out = {
             "engine.queries": self.queries,
             "engine.unique": self.unique,
             "engine.hops": self.hops,
         }
+        if engine_name:
+            out[f"engine.{engine_name}.queries"] = self.queries
+            out[f"engine.{engine_name}.unique"] = self.unique
+            out[f"engine.{engine_name}.hops"] = self.hops
+        return out

@@ -97,13 +97,16 @@ def run_campaign(
     recorder: Any = None,
     max_failures: int = 5,
     progress: Optional[Callable[[int, OracleOutcome], None]] = None,
+    engine: str = "lca",
 ) -> FuzzSummary:
     """Fuzz *runs* programs; return the campaign summary.
 
     Stops collecting (but keeps counting) after *max_failures* failing
     programs so a systematically broken configuration cannot turn one
     campaign into thousands of shrink jobs.  *progress*, when given, is
-    called after every run with ``(index, outcome)``.
+    called after every run with ``(index, outcome)``.  *engine* selects
+    the oracle's reference parallelism engine (every other registered
+    engine is compared against it regardless).
     """
     config = config or FuzzConfig()
     generator = ProgramGenerator(config)
@@ -113,13 +116,15 @@ def run_campaign(
     started = time.perf_counter()
     for index, seed in enumerate(campaign_seeds(base_seed, runs)):
         spec = generator.generate_spec(seed)
-        outcome = check_spec(spec, seed=seed, jobs=jobs, recorder=recorder)
+        outcome = check_spec(
+            spec, seed=seed, jobs=jobs, recorder=recorder, engine=engine
+        )
         summary.events += outcome.events
         if not outcome.ok and len(summary.failures) < max_failures:
             summary.failures.append(outcome)
             if shrink:
                 result = shrink_disagreement(
-                    outcome, jobs=jobs, recorder=recorder
+                    outcome, jobs=jobs, recorder=recorder, engine=engine
                 )
                 summary.reproducers[seed] = (
                     result,
@@ -136,12 +141,13 @@ def shrink_disagreement(
     jobs: int = 4,
     recorder: Any = None,
     max_attempts: int = 5000,
+    engine: str = "lca",
 ) -> ShrinkResult:
     """Reduce a failing outcome's spec to a 1-minimal disagreement."""
 
     def still_fails(spec: Any) -> bool:
         return not check_spec(
-            spec, seed=outcome.seed, jobs=jobs, recorder=None
+            spec, seed=outcome.seed, jobs=jobs, recorder=None, engine=engine
         ).ok
 
     return shrink_spec(

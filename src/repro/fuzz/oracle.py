@@ -6,8 +6,14 @@ and the resulting trace is pushed through the full configuration matrix:
 ===================  ====================================================
 leg                  configuration
 ===================  ====================================================
-``reference``        optimized checker (thorough), LCA engine, ``jobs=1``
-``labels-engine``    same checker, label-comparison parallelism engine
+``reference``        optimized checker (thorough), reference engine
+                     (default LCA), ``jobs=1``
+``<engine>-engine``  same checker under every *other* registered
+                     parallelism engine (``labels-engine``,
+                     ``vc-engine``, ``depa-engine``, ... -- derived from
+                     :func:`repro.dpst.engines.available_engines`, so
+                     registering an engine automatically extends the
+                     matrix)
 ``sharded-jobs4``    same checker through the location-sharded pipeline
 ``prefilter``        same checker with the static prefilter applied
                      (the spec is exactly lintable, so refusals are rare
@@ -42,6 +48,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.checker import BasicAtomicityChecker, OptAtomicityChecker
+from repro.dpst.engines import available_engines
 from repro.fuzz.generate import (
     FuzzConfig,
     ProgramGenerator,
@@ -60,8 +67,21 @@ from repro.trace.generator import Spec
 from repro.trace.replay import replay_trace
 from repro.trace.serialize import dump_trace
 
-#: Leg names compared triple-for-triple against the reference.
-EXACT_LEGS = ("labels-engine", "sharded-jobs4", "prefilter", "replay")
+def exact_legs(reference: str = "lca") -> Tuple[str, ...]:
+    """Leg names compared triple-for-triple against the reference.
+
+    Derived from the engine registry: every registered engine other than
+    *reference* contributes an ``<name>-engine`` leg.
+    """
+    engines = tuple(
+        f"{name}-engine" for name in available_engines() if name != reference
+    )
+    return engines + ("sharded-jobs4", "prefilter", "replay")
+
+
+#: Leg names compared triple-for-triple against the default reference
+#: (kept for existing callers; prefer :func:`exact_legs`).
+EXACT_LEGS = exact_legs()
 
 
 @dataclass(frozen=True)
@@ -142,10 +162,11 @@ def check_seed(
     config: Optional[FuzzConfig] = None,
     jobs: int = 4,
     recorder: Any = None,
+    engine: str = "lca",
 ) -> OracleOutcome:
     """Generate the program for *seed* and run the full matrix over it."""
     spec = ProgramGenerator(config).generate_spec(seed)
-    return check_spec(spec, seed=seed, jobs=jobs, recorder=recorder)
+    return check_spec(spec, seed=seed, jobs=jobs, recorder=recorder, engine=engine)
 
 
 def check_spec(
@@ -155,6 +176,7 @@ def check_spec(
     recorder: Any = None,
     extra_checkers: Optional[Mapping[str, Callable[[], Any]]] = None,
     schedules: bool = True,
+    engine: str = "lca",
 ) -> OracleOutcome:
     """Run the differential matrix over one spec tree.
 
@@ -163,7 +185,9 @@ def check_spec(
     *location* level against the reference -- the hook the harness's own
     guard tests use to prove a deliberately broken checker is caught.
     *schedules* toggles the re-execution legs (the shrinker turns them
-    off while bisecting trace-level disagreements, for speed).
+    off while bisecting trace-level disagreements, for speed).  *engine*
+    picks the reference parallelism engine; every *other* registered
+    engine gets its own exact-comparison leg regardless.
     """
     program = program_from_spec(
         spec, name=f"fuzz(seed={seed})" if seed is not None else "fuzz(spec)"
@@ -172,7 +196,7 @@ def check_spec(
     trace = result.trace
     outcome = OracleOutcome(seed=seed, spec=spec, events=len(trace.memory_events()))
 
-    session = CheckSession(trace, checker="optimized", jobs=1, engine="lca")
+    session = CheckSession(trace, checker="optimized", jobs=1, engine=engine)
     reference = session.check(mode="thorough")
     ref_normal = normalize_report(reference)
     ref_locations = normalized_locations(reference)
@@ -205,7 +229,12 @@ def check_spec(
             )
 
     # -- same-trace legs: must match triple-for-triple -------------------
-    exact("labels-engine", session.check(engine="labels", mode="thorough"))
+    # One leg per registered engine other than the reference: the machine
+    # check that LCA = labels = vc = depa (and any third-party engine).
+    for other in available_engines():
+        if other == engine:
+            continue
+        exact(f"{other}-engine", session.check(engine=other, mode="thorough"))
     if jobs and jobs > 1:
         exact(
             f"sharded-jobs{jobs}",

@@ -40,7 +40,10 @@ from typing import (
     Tuple,
 )
 
+import warnings
+
 from repro.dpst import ArrayDPST, LCAEngine, LinkedDPST, NodeKind, ROOT_ID, make_dpst
+from repro.dpst.engines import make_engine
 from repro.dpst.base import DPSTBase
 from repro.errors import RuntimeUsageError
 from repro.report import READ, WRITE
@@ -70,7 +73,7 @@ class RunContext:
     def __init__(
         self,
         dpst: Optional[DPSTBase],
-        lca_engine: Optional[LCAEngine],
+        engine: Any,
         shadow: ShadowMemory,
         locks: LockTable,
         annotations: Any,
@@ -78,7 +81,11 @@ class RunContext:
         recorder: Any = None,
     ) -> None:
         self.dpst = dpst
-        self.lca_engine = lca_engine
+        #: The :class:`~repro.dpst.engines.ParallelismEngine` answering
+        #: series-parallel queries for this run (``None`` when no DPST is
+        #: built).  The historical name ``lca_engine`` is a deprecated
+        #: alias.
+        self.engine = engine
         self.shadow = shadow
         self.locks = locks
         #: The program's atomicity annotations
@@ -93,13 +100,23 @@ class RunContext:
 
             recorder = NULL_RECORDER
         self.recorder = recorder
-        #: Which parallelism-query engine answers ``lca_engine`` queries:
-        #: ``"lca"`` (tree walks) or ``"labels"`` (offset-span labels).
+        #: The registry name of the engine answering the queries -- any
+        #: name in :func:`repro.dpst.engines.available_engines`.
         self.parallel_engine = parallel_engine
         #: Wall-clock run time in seconds, filled in by the driver.
         self.elapsed: float = 0.0
         #: Map task id -> :class:`Task`, for post-run inspection.
         self.tasks: Dict[int, Task] = {}
+
+    @property
+    def lca_engine(self) -> Any:
+        """Deprecated alias of :attr:`engine` (the pre-registry name)."""
+        warnings.warn(
+            "RunContext.lca_engine is deprecated; use RunContext.engine",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.engine
 
     @property
     def dpst_nodes(self) -> int:
@@ -149,23 +166,16 @@ class Runtime:
             build_dpst = bool(self.observer.observers)
         self.dpst: Optional[DPSTBase] = make_dpst(dpst_layout) if build_dpst else None
         if self.dpst is None:
-            self.lca_engine = None
-        elif parallel_engine == "lca":
-            self.lca_engine = LCAEngine(self.dpst, cache=lca_cache)
-        elif parallel_engine == "labels":
-            from repro.dpst.labels import LabelEngine
-
-            self.lca_engine = LabelEngine(self.dpst, cache=lca_cache)
+            self.engine = None
         else:
-            raise ValueError(
-                f"unknown parallel_engine {parallel_engine!r} "
-                "(expected 'lca' or 'labels')"
-            )
+            # Registry resolution: raises UnknownEngineError (a
+            # CheckerError *and* ValueError) naming the valid engines.
+            self.engine = make_engine(parallel_engine, self.dpst, cache=lca_cache)
         self.shadow = shadow if shadow is not None else ShadowMemory()
         self.locks = LockTable()
         self.run_context = RunContext(
             self.dpst,
-            self.lca_engine,
+            self.engine,
             self.shadow,
             self.locks,
             annotations,

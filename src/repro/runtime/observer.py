@@ -180,9 +180,9 @@ class StatsObserver(RuntimeObserver):
     def on_run_end(self, run: "RunContext") -> None:
         if run.dpst is not None:
             self.dpst_nodes = len(run.dpst)
-        if run.lca_engine is not None:
-            self.lca_queries = run.lca_engine.stats.queries
-            self.lca_unique = run.lca_engine.stats.unique
+        if run.engine is not None:
+            self.lca_queries = run.engine.stats.queries
+            self.lca_unique = run.engine.stats.unique
 
     @property
     def unique_lca_percent(self) -> float:

@@ -17,7 +17,6 @@ from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Seque
 
 from repro.checker.annotations import AtomicAnnotations
 from repro.dpst.base import DPSTBase
-from repro.dpst.lca import LCAEngine
 from repro.report import ViolationReport
 from repro.runtime.executor import Executor, RunContext, Runtime, SerialExecutor
 from repro.runtime.observer import RuntimeObserver, StatsObserver, TraceRecorder
@@ -95,8 +94,19 @@ class RunResult:
         return self.context.dpst
 
     @property
-    def lca_engine(self) -> Optional[LCAEngine]:
-        return self.context.lca_engine
+    def engine(self) -> Any:
+        """The run's parallelism engine (see :mod:`repro.dpst.engines`)."""
+        return self.context.engine
+
+    @property
+    def lca_engine(self) -> Any:
+        """Deprecated alias of :attr:`engine` (the pre-registry name)."""
+        warnings.warn(
+            "RunResult.lca_engine is deprecated; use RunResult.engine",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.context.engine
 
     @property
     def shadow(self) -> ShadowMemory:
@@ -163,9 +173,12 @@ class RunResult:
         for observer in self.observers:
             for name, value in observer.metrics().items():
                 merged[name] = merged.get(name, 0) + value
-        engine = self.context.lca_engine
+        engine = self.context.engine
         if engine is not None:
-            for name, value in engine.stats.as_metrics().items():
+            from repro.dpst.engines import engine_name_of
+
+            folded = engine.stats.as_metrics(engine_name_of(engine))
+            for name, value in folded.items():
                 merged[name] = merged.get(name, 0) + value
         merged["runtime.lock_version_bumps"] = sum(
             task.lock_state.versions_minted
@@ -228,9 +241,12 @@ def run_program(
     lca_cache:
         Enable the LCA memo table (the paper's caching optimization).
     parallel_engine:
-        ``"lca"`` (tree-walk queries, the paper's approach) or
-        ``"labels"`` (offset-span-style label comparison; see
-        :mod:`repro.dpst.labels`).
+        Registry name of the parallelism engine answering series-parallel
+        queries -- any name in
+        :func:`repro.dpst.engines.available_engines` (built-ins:
+        ``"lca"``, ``"labels"``, ``"vc"``, ``"depa"``; default the
+        paper's tree-walk ``"lca"``).  Unknown names raise
+        :class:`repro.dpst.engines.UnknownEngineError`.
     record_trace / collect_stats:
         Attach a :class:`TraceRecorder` / :class:`StatsObserver`
         automatically and expose them on the result.
@@ -280,7 +296,7 @@ def run_program(
             context = runtime.run(program.body, *program.args, **program.kwargs)
         for observer in attached:
             flush_observer_metrics(recorder, observer)
-        flush_engine_stats(recorder, context.lca_engine)
+        flush_engine_stats(recorder, context.engine)
         recorder.count(
             "runtime.lock_version_bumps",
             sum(

@@ -66,7 +66,11 @@ class CheckSession:
         in-process; ``N > 1`` runs the location-sharded pipeline;
         ``None`` uses one worker per CPU.
     engine:
-        Parallelism-query engine, ``"lca"`` or ``"labels"``.
+        Parallelism-query engine: any registered name in
+        :func:`repro.dpst.engines.available_engines` (built-ins:
+        ``"lca"``, ``"labels"``, ``"vc"``, ``"depa"``).  Unknown names
+        raise :class:`repro.dpst.engines.UnknownEngineError` at check
+        time, naming the valid engines.
     executor:
         Scheduling strategy when *source* is a program.
     annotations:
@@ -221,11 +225,12 @@ class CheckSession:
         ``checker_kwargs`` are forwarded to checker construction (names
         and classes only).  Repeated calls reuse the recorded trace, so a
         program source executes exactly once per session.  The per-call
-        *engine* override lets one session compare the ``"lca"`` and
-        ``"labels"`` parallelism engines over the same recorded trace
-        (the differential fuzzing oracle does exactly that); it applies
-        to offline replays -- a program source's recording engine stays
-        the session's.
+        *engine* override lets one session compare any registered
+        parallelism engines over the same recorded trace (the
+        differential fuzzing oracle runs every
+        :func:`~repro.dpst.engines.available_engines` name this way);
+        it applies to offline replays -- a program source's recording
+        engine stays the session's.
 
         ``static_prefilter`` drops events on locations the static lint
         pass proves schedule-serial before the dynamic check runs:

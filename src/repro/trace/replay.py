@@ -14,7 +14,7 @@ from typing import Iterable, Optional, Sequence
 
 from repro.checker.annotations import AtomicAnnotations
 from repro.dpst.base import DPSTBase
-from repro.dpst.lca import LCAEngine
+from repro.dpst.engines import make_engine
 from repro.errors import TraceError
 from repro.report import ViolationReport
 from repro.runtime.events import MemoryEvent
@@ -34,20 +34,13 @@ def _make_context(
 ) -> RunContext:
     if dpst is None:
         engine = None
-    elif parallel_engine == "lca":
-        engine = LCAEngine(dpst, cache=lca_cache)
-    elif parallel_engine == "labels":
-        from repro.dpst.labels import LabelEngine
-
-        engine = LabelEngine(dpst, cache=lca_cache)
     else:
-        raise TraceError(
-            f"unknown parallel_engine {parallel_engine!r} "
-            "(expected 'lca' or 'labels')"
-        )
+        # Registry resolution: raises UnknownEngineError (a CheckerError
+        # and ValueError) naming the valid engines.
+        engine = make_engine(parallel_engine, dpst, cache=lca_cache)
     return RunContext(
         dpst=dpst,
-        lca_engine=engine,
+        engine=engine,
         shadow=ShadowMemory(),
         locks=LockTable(),
         annotations=annotations or AtomicAnnotations(),
@@ -101,7 +94,7 @@ def replay_memory_events(
         checker.on_run_end(context)
         recorder.count("trace.events.routed", routed)
         flush_observer_metrics(recorder, checker)
-        flush_engine_stats(recorder, context.lca_engine)
+        flush_engine_stats(recorder, context.engine)
     else:
         checker.on_run_begin(context)
         for event in events:

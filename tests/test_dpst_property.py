@@ -124,6 +124,28 @@ def test_precedes_transitive_on_steps(script):
 
 @given(insertion_scripts())
 @settings(max_examples=40, deadline=None)
+def test_all_registered_engines_match_relation(script):
+    """Registry-driven equivalence: every engine (current and future)
+    must agree with the SPD3 relation on every node pair."""
+    from repro.dpst.engines import available_engines, make_engine
+
+    tree = replay(script, ArrayDPST())
+    engines = {name: make_engine(name, tree) for name in available_engines()}
+    nodes = list(tree.nodes())
+    for a in nodes:
+        for b in nodes:
+            want_parallel = relation.parallel(tree, a, b)
+            want_precedes = relation.precedes(tree, a, b)
+            for name, engine in engines.items():
+                assert engine.parallel(a, b) == want_parallel, (name, a, b)
+                assert engine.precedes(a, b) == want_precedes, (name, a, b)
+                assert engine.series(a, b) == (
+                    a != b and not want_parallel
+                ), (name, a, b)
+
+
+@given(insertion_scripts())
+@settings(max_examples=40, deadline=None)
 def test_engine_cache_transparent(script):
     tree = replay(script, ArrayDPST())
     cached = LCAEngine(tree, cache=True)
@@ -200,3 +222,23 @@ def test_fuzzed_lca_and_label_engines_agree(seed):
         for b in steps:
             assert lca.parallel(a, b) == labels.parallel(a, b), (seed, a, b)
             assert lca.precedes(a, b) == labels.precedes(a, b), (seed, a, b)
+
+
+@pytest.mark.parametrize("seed", PINNED_SEEDS)
+def test_fuzzed_all_registered_engines_agree(seed):
+    """Every registered engine agrees pairwise on runtime-built trees.
+
+    Driven by the registry, so an engine registered tomorrow is covered
+    by this test without editing it.
+    """
+    from repro.dpst.engines import available_engines, make_engine
+
+    tree = _fuzzed_dpst(seed)
+    engines = {name: make_engine(name, tree) for name in available_engines()}
+    steps = tree.step_nodes()
+    for a in steps:
+        for b in steps:
+            parallels = {n: e.parallel(a, b) for n, e in engines.items()}
+            assert len(set(parallels.values())) == 1, (seed, a, b, parallels)
+            precedes = {n: e.precedes(a, b) for n, e in engines.items()}
+            assert len(set(precedes.values())) == 1, (seed, a, b, precedes)

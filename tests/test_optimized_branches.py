@@ -72,7 +72,7 @@ class TestFigure7FirstAccess:
         context = _make_context(tree, None)
         checker.on_run_begin(context)
         checker.on_memory(mem(0, 1, s, "X", WRITE))
-        assert context.lca_engine.stats.queries == 0
+        assert context.engine.stats.queries == 0
 
 
 class TestFigure8SingleSlots:
