@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""CI lint-gate: ``repro lint`` over examples/, gated by a committed baseline.
+
+Where ``lint_smoke.py`` asserts coarse per-target expectations ("clean" /
+"has candidates"), this gate pins the *exact* finding set: every
+diagnostic on every examples/ entry point must have a fingerprint in the
+committed baseline (``ci/lint-baseline.json``), and the job fails on any
+finding the baseline does not know.  Stale baseline entries (findings
+that no longer occur) are reported but do not fail the build -- they are
+a prompt to refresh.
+
+A single SARIF 2.1.0 log covering all targets (one run per target) is
+written for artifact upload, so findings render in code-scanning UIs.
+
+Refresh the baseline after intentional lint changes with::
+
+    python scripts/lint_gate.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List
+
+# Make examples/ importable regardless of invocation directory.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
+
+#: Every examples/ entry point (the same set lint_smoke.py covers).
+TARGETS: List[str] = [
+    "examples.quickstart:main",
+    "examples.bank_transfer:main",
+    "examples.paper_example:figure1",
+    "examples.paper_example:figure11",
+    "examples.lock_versioning:buggy_worker",
+    "examples.lock_versioning:correct_worker",
+    "examples.coverage_guarantee:safe_fixed_accesses",
+    "examples.coverage_guarantee:reduction_with_dynamic_indices",
+    "examples.coverage_guarantee:racy_branch",
+    "examples.kmeans_audit:build_broken",
+    "examples.races_vs_atomicity:racy_but_atomic",
+    "examples.races_vs_atomicity:atomic_violation_without_race",
+    "examples.pipeline_audit:transform_unprotected",
+    "examples.pipeline_audit:transform_locked",
+]
+
+DEFAULT_BASELINE = "ci/lint-baseline.json"
+DEFAULT_SARIF = "lint-gate.sarif"
+
+
+def _load_target(spec: str):
+    import importlib
+
+    module_name, _, func_name = spec.partition(":")
+    module = importlib.import_module(module_name)
+    return getattr(module, func_name)
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help="committed known-findings baseline (default %(default)s)",
+    )
+    parser.add_argument(
+        "--sarif", default=DEFAULT_SARIF,
+        help="SARIF artifact path (default %(default)s)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.static import (
+        BaselineError,
+        compare_to_baseline,
+        lint_program,
+        reports_to_sarif,
+        update_baseline,
+    )
+
+    reports = []
+    for target in TARGETS:
+        loaded = _load_target(target)
+        if not callable(loaded):  # build() helpers return a TaskProgram
+            raise SystemExit(f"{target} is not callable")
+        report = lint_program(loaded, target=target)
+        counts = report.severity_counts()
+        print(
+            f"{target:<58} errors={counts['error']} "
+            f"warnings={counts['warning']} infos={counts['info']}"
+        )
+        reports.append(report)
+
+    with open(args.sarif, "w", encoding="utf-8") as handle:
+        json.dump(reports_to_sarif(reports), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"SARIF log ({len(reports)} runs) written to {args.sarif}")
+
+    if args.update:
+        data = update_baseline(reports, args.baseline)
+        print(
+            f"baseline {args.baseline} updated: "
+            f"{len(data['findings'])} known finding(s)"
+        )
+        return 0
+
+    try:
+        new, stale = compare_to_baseline(reports, args.baseline)
+    except BaselineError as error:
+        raise SystemExit(str(error))
+    for fingerprint in stale:
+        print(f"stale baseline entry (finding no longer occurs): {fingerprint}")
+    for report, diagnostic in new:
+        print(f"NEW [{report.target}] {diagnostic.describe()}")
+    total = sum(len(report.diagnostics) for report in reports)
+    print(
+        f"\n{len(TARGETS)} target(s), {total} finding(s), "
+        f"{len(new)} new, {len(stale)} stale"
+    )
+    if new:
+        print(
+            "findings not in the committed baseline; if intentional, "
+            "refresh it with: python scripts/lint_gate.py --update"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -90,15 +90,18 @@ def filter_skipped(
     """Drop events on *skip_locations*, counting every drop.
 
     The count lands on *recorder* (when enabled) as
-    ``static.prefilter.events_skipped`` -- in the parent for in-memory
-    sources and ``jobs=1``, in the worker snapshot for streamed shards,
-    so the summed totals match across job counts.
+    ``static.prefilter.events_skipped`` (one per drop, historical name)
+    and ``static.prefilter.dropped_events`` (same value, the
+    per-location prefilter's counter family) -- in the parent for
+    in-memory sources and ``jobs=1``, in the worker snapshot for
+    streamed shards, so the summed totals match across job counts.
     """
     counting = recorder is not None and recorder.enabled
     for event in events:
         if isinstance(event, MemoryEvent) and event.location in skip_locations:
             if counting:
                 recorder.count("static.prefilter.events_skipped")
+                recorder.count("static.prefilter.dropped_events")
             continue
         yield event
 

@@ -173,8 +173,11 @@ def _print_prefilter(session, recorder) -> None:
     info = session.prefilter_info
     if info is None:
         return
+    poisoned = info.get("poisoned") or {}
     if not info["applied"]:
         print(f"static prefilter: disabled -- {info['reason']}")
+        for location, reasons in poisoned.items():
+            print(f"  poisoned {location}: {'; '.join(reasons)}")
         return
     skipped = 0
     if recorder is not None and recorder.enabled:
@@ -188,6 +191,8 @@ def _print_prefilter(session, recorder) -> None:
         f"static prefilter: {info['reason']}; "
         f"dropped {skipped} event(s) on [{locations}]"
     )
+    for location, reasons in poisoned.items():
+        print(f"  poisoned {location}: {'; '.join(reasons)}")
 
 
 def _check_with_prefilter(body, args: argparse.Namespace, recorder) -> int:
@@ -405,6 +410,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     if bool(args.program) == bool(args.spec):
         raise SystemExit("lint needs exactly one of MODULE:FUNC or --spec FILE")
+    if args.update_baseline and not args.baseline:
+        raise SystemExit("--update-baseline needs --baseline FILE")
     if args.spec:
         with open(args.spec, "r", encoding="utf-8") as handle:
             spec_tree = json.load(handle)
@@ -416,7 +423,49 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         print(report.describe())
-    return 1 if report.has_errors else 0
+    if args.sarif:
+        from repro.static import report_to_sarif
+
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            json.dump(report_to_sarif(report), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"SARIF log written to {args.sarif}")
+    gated = report.diagnostics
+    if args.baseline:
+        from repro.static import BaselineError, compare_to_baseline, update_baseline
+
+        if args.update_baseline:
+            data = update_baseline([report], args.baseline)
+            print(
+                f"baseline {args.baseline} updated: "
+                f"{len(data['findings'])} known finding(s)"
+            )
+            return 0
+        try:
+            new, stale = compare_to_baseline([report], args.baseline)
+        except BaselineError as error:
+            raise SystemExit(str(error)) from error
+        gated = [diagnostic for _, diagnostic in new]
+        print(
+            f"baseline {args.baseline}: {len(report.diagnostics)} finding(s), "
+            f"{len(gated)} new, {len(stale)} stale baseline entr(y/ies)"
+        )
+        for diagnostic in gated:
+            print(f"  NEW {diagnostic.describe()}")
+    return _lint_exit_code(gated, args.fail_on)
+
+
+def _lint_exit_code(diagnostics, fail_on: str) -> int:
+    """``--fail-on`` semantics: the gate severity and everything above."""
+    if fail_on == "never":
+        return 0
+    if fail_on == "warning":
+        return (
+            1
+            if any(d.severity in ("error", "warning") for d in diagnostics)
+            else 0
+        )
+    return 1 if any(d.severity == "error" for d in diagnostics) else 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -786,6 +835,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--json", action="store_true", help="emit the JSON report"
+    )
+    lint.add_argument(
+        "--sarif", metavar="FILE", default=None,
+        help="write a SARIF 2.1.0 log (SAV rule metadata included) to FILE",
+    )
+    lint.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="compare findings against a known-findings baseline; only "
+        "diagnostics absent from it count toward --fail-on",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline FILE from the current findings (exit 0)",
+    )
+    lint.add_argument(
+        "--fail-on", choices=("error", "warning", "never"), default="error",
+        help="exit 1 on diagnostics at or above this severity "
+        "(default: error)",
     )
     lint.set_defaults(handler=cmd_lint)
 

@@ -18,6 +18,12 @@ leg                  configuration
 ``prefilter``        same checker with the static prefilter applied
                      (the spec is exactly lintable, so refusals are rare
                      and recorded, never silent)
+``prefilter-``       same checker with a *deliberately degraded* lint
+``poisoned``         report: one location carries an injected localized
+                     poison note, so the per-location prefilter drops
+                     events for the remaining proven-serial locations
+                     only -- partial filtering soundness, machine-checked
+                     on every program
 ``replay``           JSONL record -> replay round-trip of the trace
 ``basic``            the paper's Figure 3 reference checker
 ``paper-mode``       optimized checker in published-pseudocode mode
@@ -76,7 +82,7 @@ def exact_legs(reference: str = "lca") -> Tuple[str, ...]:
     engines = tuple(
         f"{name}-engine" for name in available_engines() if name != reference
     )
-    return engines + ("sharded-jobs4", "prefilter", "replay")
+    return engines + ("sharded-jobs4", "prefilter", "prefilter-poisoned", "replay")
 
 
 #: Leg names compared triple-for-triple against the default reference
@@ -241,6 +247,7 @@ def check_spec(
             session.check(jobs=jobs, mode="thorough"),
         )
     exact("prefilter", _prefilter_leg(session, spec, outcome))
+    exact("prefilter-poisoned", _poisoned_prefilter_leg(session, spec, outcome))
     exact("replay", _replay_roundtrip_leg(trace))
 
     # -- cross-checker legs ----------------------------------------------
@@ -302,10 +309,54 @@ def _prefilter_leg(
     """The static-prefilter-on leg; the decision lands in ``notes``."""
     from repro.static.lint import lint_spec
 
-    report = session.check(static_prefilter=lint_spec(spec), mode="thorough")
+    lint = lint_spec(spec)
+    report = session.check(static_prefilter=lint, mode="thorough")
     info = session.prefilter_info or {}
     outcome.notes["prefilter"] = (
-        f"applied={info.get('applied')} reason={info.get('reason', '')!r}"
+        f"applied={info.get('applied')} "
+        f"proven={len(lint.prefilter_locations())} "
+        f"poisoned={len(lint.poisoned_locations)} "
+        f"reason={info.get('reason', '')!r}"
+    )
+    return report
+
+
+def _poisoned_prefilter_leg(
+    session: CheckSession, spec: Spec, outcome: OracleOutcome
+) -> ViolationReport:
+    """Per-location prefilter under a deliberately imprecise lint report.
+
+    One location of the spec is poisoned by injecting a localized
+    approximation note (the mechanism a summarized recursive helper
+    uses) into an otherwise-exact skeleton.  Poisoning only *shrinks*
+    the filtered set, so the leg is sound by construction -- and because
+    the remaining proven-serial locations still filter, every generated
+    program exercises *partial* dropping, the behavior the global
+    ``prefilter_safe`` gate could never reach.
+    """
+    from repro.fuzz.generate import spec_locations
+    from repro.report import WRITE
+    from repro.static.accesses import EXACT, AccessPattern
+    from repro.static.lint import lint_skeleton
+    from repro.static.structure import skeleton_from_spec
+
+    skeleton = skeleton_from_spec(spec, source="<fuzz-poisoned>")
+    locations = spec_locations(spec)
+    if locations:
+        skeleton.note(
+            "recursive-inline",
+            "<fuzz:poison>",
+            "deliberately poisoned location (prefilter soundness leg)",
+            patterns=(AccessPattern(EXACT, locations[0], WRITE),),
+        )
+    lint = lint_skeleton(skeleton, target="<fuzz-poisoned>")
+    report = session.check(static_prefilter=lint, mode="thorough")
+    info = session.prefilter_info or {}
+    outcome.notes["prefilter-poisoned"] = (
+        f"applied={info.get('applied')} "
+        f"proven={len(lint.prefilter_locations())} "
+        f"poisoned={len(lint.poisoned_locations)} "
+        f"reason={info.get('reason', '')!r}"
     )
     return report
 

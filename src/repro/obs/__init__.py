@@ -157,10 +157,17 @@ METRIC_NAMES: Dict[str, str] = {
     "static.lint.errors": "error-severity diagnostics",
     "static.lint.warnings": "warning-severity diagnostics",
     "static.lint.serial_locations": "exact locations proven schedule-serial",
+    # interprocedural call graph (AST front end)
+    "static.callgraph.functions": "functions reachable in the lint call graph",
+    "static.callgraph.sccs": "strongly connected components in the lint call graph",
+    "static.callgraph.unresolved_calls": "call sites the static resolver could not resolve",
     # static prefilter (sharded/in-process event dropping)
     "static.prefilter.locations": "locations the dynamic check skipped as schedule-serial",
+    "static.prefilter.proven": "locations individually proven schedule-serial by the lint pass",
+    "static.prefilter.poisoned": "serial-looking locations whose proof an imprecision voided",
     "static.prefilter.events_skipped": "memory events dropped by the static prefilter",
-    "static.prefilter.disabled": "prefilter requests refused for safety (imprecise lint or non-trivial annotations)",
+    "static.prefilter.dropped_events": "memory events dropped by the per-location static prefilter",
+    "static.prefilter.disabled": "prefilter requests refused (no provable locations or non-trivial annotations)",
     # differential fuzzing (repro fuzz / repro.fuzz)
     "fuzz.runs": "programs pushed through the differential oracle",
     "fuzz.comparisons": "oracle legs compared against the reference verdict",

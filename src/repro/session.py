@@ -406,6 +406,16 @@ class CheckSession:
             self.recorder.count(
                 "static.lint.serial_locations", len(report.serial_locations)
             )
+            stats = report.callgraph_stats()
+            if stats is not None:
+                self.recorder.count(
+                    "static.callgraph.functions", stats["functions"]
+                )
+                self.recorder.count("static.callgraph.sccs", stats["sccs"])
+                self.recorder.count(
+                    "static.callgraph.unresolved_calls",
+                    stats["unresolved_calls"],
+                )
         else:
             report = lint_program(target)
         if target is self._program:
@@ -425,6 +435,7 @@ class CheckSession:
             "requested": True,
             "applied": False,
             "locations": [],
+            "poisoned": {},
             "reason": "",
         }
         self.prefilter_info = info
@@ -433,22 +444,35 @@ class CheckSession:
                 "non-trivial atomicity annotations (grouped locations "
                 "share metadata, so per-location proofs do not compose)"
             )
-        elif not report.prefilter_safe:
-            info["reason"] = (
-                "lint skeleton is not exact (imprecise location patterns "
-                "or approximated constructs)"
+            if self.recorder.enabled:
+                self.recorder.count("static.prefilter.disabled")
+            return None
+        locations = report.prefilter_locations()
+        poisoned = report.poisoned_locations
+        info["poisoned"] = {
+            repr(location): list(reasons)
+            for location, reasons in sorted(
+                poisoned.items(), key=lambda kv: repr(kv[0])
             )
-        else:
-            locations = report.prefilter_locations()
-            info["applied"] = True
-            info["locations"] = sorted(repr(loc) for loc in locations)
-            info["reason"] = (
-                f"{len(locations)} location(s) proven schedule-serial"
-            )
-            return frozenset(locations) if locations else None
+        }
         if self.recorder.enabled:
-            self.recorder.count("static.prefilter.disabled")
-        return None
+            self.recorder.count("static.prefilter.proven", len(locations))
+            self.recorder.count("static.prefilter.poisoned", len(poisoned))
+        if not locations:
+            info["reason"] = (
+                "no locations proven schedule-serial"
+                + (f" ({len(poisoned)} poisoned by imprecision)" if poisoned else "")
+            )
+            if self.recorder.enabled:
+                self.recorder.count("static.prefilter.disabled")
+            return None
+        info["applied"] = True
+        info["locations"] = sorted(repr(loc) for loc in locations)
+        info["reason"] = (
+            f"{len(locations)} location(s) proven schedule-serial"
+            + (f" ({len(poisoned)} poisoned by imprecision)" if poisoned else "")
+        )
+        return frozenset(locations)
 
     # -- aggregate views ---------------------------------------------------
 

@@ -28,8 +28,17 @@ This package explores it:
 * :mod:`repro.static.lint` / :mod:`repro.static.diagnostics` -- the
   ``repro lint`` pass: candidate unserializable triples per Figure 4
   found without running the program, structural ``SAVnnn`` diagnostics,
-  and schedule-serial location proofs that feed the sharded checker's
-  ``--static-prefilter``.
+  and per-location schedule-serial proofs that feed the sharded
+  checker's ``--static-prefilter``;
+* :mod:`repro.static.callgraph` / :mod:`repro.static.summaries` -- the
+  interprocedural layer: the call graph reachable from a task body
+  (name/attribute resolution through closures and module globals, SCC
+  condensation) and bottom-up per-function effect summaries with a
+  fixpoint inside SCCs, so helpers and bounded recursion analyze
+  exactly;
+* :mod:`repro.static.sarif` / :mod:`repro.static.baseline` -- the CI
+  frontend: SARIF 2.1.0 export and known-findings baselines for
+  fail-only-on-new gating.
 """
 
 from repro.static.accesses import (
@@ -37,6 +46,18 @@ from repro.static.accesses import (
     StaticAccessSet,
     analyze_function,
     analyze_spec,
+)
+from repro.static.baseline import (
+    BASELINE_SCHEMA,
+    BaselineError,
+    compare_to_baseline,
+    update_baseline,
+)
+from repro.static.callgraph import (
+    CallGraph,
+    CallGraphStats,
+    FunctionInfo,
+    build_callgraph,
 )
 from repro.static.coverage import CoverageReport, check_trace_coverage
 from repro.static.diagnostics import RULES, Diagnostic
@@ -49,17 +70,29 @@ from repro.static.lint import (
     lint_spec,
 )
 from repro.static.mhp import MHPIndex
+from repro.static.sarif import report_to_sarif, reports_to_sarif
 from repro.static.structure import (
     StaticSkeleton,
     skeleton_from_function,
     skeleton_from_spec,
 )
+from repro.static.summaries import FunctionSummary, compute_summaries
 
 __all__ = [
     "AccessPattern",
     "StaticAccessSet",
     "analyze_function",
     "analyze_spec",
+    "BASELINE_SCHEMA",
+    "BaselineError",
+    "compare_to_baseline",
+    "update_baseline",
+    "CallGraph",
+    "CallGraphStats",
+    "FunctionInfo",
+    "build_callgraph",
+    "FunctionSummary",
+    "compute_summaries",
     "CoverageReport",
     "check_trace_coverage",
     "Diagnostic",
@@ -71,6 +104,8 @@ __all__ = [
     "lint_skeleton",
     "lint_spec",
     "MHPIndex",
+    "report_to_sarif",
+    "reports_to_sarif",
     "StaticSkeleton",
     "skeleton_from_function",
     "skeleton_from_spec",

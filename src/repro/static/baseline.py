@@ -1,0 +1,131 @@
+"""Lint baselines: accept today's findings, fail only on new ones.
+
+A baseline file records fingerprints of every known diagnostic so a CI
+gate (``repro lint --baseline FILE``) can adopt lint on a codebase with
+pre-existing findings: existing ones are acknowledged, and only
+*new* diagnostics -- ones whose fingerprint is absent from the baseline
+-- fail the build.  ``--update-baseline`` rewrites the file from the
+current findings (merging per target, so gating several programs into
+one shared baseline works).
+
+Fingerprints are content-based, not index-based:
+``target::code::site::location::pattern``.  Adding an unrelated finding
+or reordering diagnostics does not invalidate the rest of the baseline;
+editing a flagged line (its site moves) deliberately does, because the
+finding must be re-triaged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Tuple
+
+#: Schema tag written into every baseline file.
+BASELINE_SCHEMA = "repro-lint-baseline/1"
+
+
+class BaselineError(ValueError):
+    """A baseline file is missing, malformed, or from another schema."""
+
+
+def fingerprint(target: str, diagnostic: Any) -> str:
+    """Stable identity of one diagnostic within one lint target."""
+    location = "" if diagnostic.location is None else repr(diagnostic.location)
+    return "::".join(
+        [
+            target,
+            diagnostic.code,
+            diagnostic.site or "",
+            location,
+            diagnostic.pattern or "",
+        ]
+    )
+
+
+def report_fingerprints(report: Any) -> List[str]:
+    """Fingerprints of a report's *active* diagnostics (suppressed ones
+    are already acknowledged in-source and need no baseline entry)."""
+    return [fingerprint(report.target, d) for d in report.diagnostics]
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    if not os.path.exists(path):
+        raise BaselineError(
+            f"baseline file {path!r} does not exist "
+            "(run with --update-baseline to create it)"
+        )
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise BaselineError(f"unreadable baseline {path!r}: {error}") from error
+    if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+        raise BaselineError(
+            f"{path!r} is not a {BASELINE_SCHEMA} baseline file"
+        )
+    if not isinstance(data.get("findings"), list):
+        raise BaselineError(f"{path!r} has no findings list")
+    return data
+
+
+def compare_to_baseline(
+    reports: List[Any], path: str
+) -> Tuple[List[Tuple[Any, Any]], List[str]]:
+    """``(new, stale)`` relative to the baseline at *path*.
+
+    *new* is ``(report, diagnostic)`` pairs whose fingerprint the
+    baseline does not know -- the ones a gate should fail on.  *stale*
+    is baseline fingerprints belonging to the linted targets that no
+    current diagnostic matches (fixed or moved findings, candidates for
+    a baseline refresh); fingerprints of targets outside *reports* are
+    left alone.
+    """
+    data = load_baseline(path)
+    known = set(data["findings"])
+    targets = {report.target for report in reports}
+    new: List[Tuple[Any, Any]] = []
+    current: set = set()
+    for report in reports:
+        for diagnostic in report.diagnostics:
+            print_ = fingerprint(report.target, diagnostic)
+            current.add(print_)
+            if print_ not in known:
+                new.append((report, diagnostic))
+    stale = sorted(
+        print_
+        for print_ in known - current
+        if print_.split("::", 1)[0] in targets
+    )
+    return new, stale
+
+
+def update_baseline(reports: List[Any], path: str) -> Dict[str, Any]:
+    """Write (or merge into) the baseline at *path*; returns its data.
+
+    Entries for the linted targets are replaced wholesale; entries for
+    other targets are preserved, so several lint invocations can share
+    one baseline file.
+    """
+    existing: List[str] = []
+    if os.path.exists(path):
+        existing = load_baseline(path)["findings"]
+    targets = {report.target for report in reports}
+    kept = [
+        print_
+        for print_ in existing
+        if print_.split("::", 1)[0] not in targets
+    ]
+    fresh: List[str] = []
+    for report in reports:
+        fresh.extend(report_fingerprints(report))
+    data = {
+        "schema": BASELINE_SCHEMA,
+        "findings": sorted(set(kept + fresh)),
+    }
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return data

@@ -1,0 +1,692 @@
+"""Interprocedural call graph over task bodies and their helpers.
+
+The skeleton builder (:mod:`repro.static.structure`) walks one function
+at a time; this module supplies the *interprocedural* substrate it and
+the lint pass share:
+
+* :class:`FunctionInfo` -- a resolvable callable: its AST, the name
+  environment it closes over (module globals overlaid with closure
+  cells), a stable marker, and any ``# repro: ignore[...]`` suppression
+  comments found in its source;
+* :func:`resolve_attribute` -- name/attribute-chain resolution through
+  that environment (``helpers.leaf`` works, not just ``leaf``);
+* :func:`build_callgraph` -- the call graph reachable from one root
+  function.  Every node carries its **direct facts** (accesses, lock
+  usage, spawn/sync/finish effects, ctx-escape approximations,
+  unresolved call sites) collected by a lightweight AST scan; edges are
+  spawn / inline / template call sites;
+* :meth:`CallGraph.sccs` -- Tarjan condensation, components emitted
+  callees-first, which is the evaluation order the bottom-up summary
+  fixpoint (:mod:`repro.static.summaries`) needs;
+* :meth:`CallGraph.stats` -- the ``static.callgraph.*`` counters
+  (functions / SCCs / unresolved call sites) surfaced by
+  :meth:`repro.static.lint.LintReport.to_dict` and ``repro lint --json``.
+
+The facts collected here are deliberately coarser than the skeleton
+walk: no ordering, no frames, no lock versions -- just the sets and
+flags a sound recursion summary needs.  Precision still comes from the
+walker; the graph tells it *when* a summary is good enough.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import os
+import re
+import textwrap
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.report import READ, WRITE
+from repro.static.accesses import (
+    AccessPattern,
+    _call_argument,
+    _location_pattern,
+)
+
+#: ctx methods by effect (mirrors :mod:`repro.static.structure`).
+READ_METHODS = frozenset({"read"})
+WRITE_METHODS = frozenset({"write"})
+RMW_METHODS = frozenset({"add", "update"})
+QUERY_METHODS = frozenset({"locked", "task_id", "depth"})
+
+#: The parallel algorithm templates and where their task bodies live:
+#: (positional index, keyword name) pairs, or ``"*"`` for "every
+#: positional after ctx" / ``"list:N"`` for a literal list argument.
+TEMPLATES: Dict[str, Tuple[Any, Optional[str]]] = {
+    "parallel_for": (3, "body"),
+    "parallel_reduce": (3, "map_body"),
+    "parallel_invoke": ("*", None),
+    "parallel_pipeline": ("list:2", "stages"),
+}
+
+#: ``# repro: ignore`` (all codes) or ``# repro: ignore[SAV001, SAV104]``.
+SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?"
+)
+
+
+def scan_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """``# repro: ignore[...]`` comments by 1-based source line.
+
+    An empty frozenset means "every code on this line"; a non-empty one
+    suppresses only the listed codes.
+    """
+    found: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = SUPPRESSION_RE.search(line)
+        if match is None:
+            continue
+        codes = match.group(1)
+        if codes is None:
+            found[lineno] = frozenset()
+        else:
+            found[lineno] = frozenset(
+                code.strip().upper() for code in codes.split(",") if code.strip()
+            )
+    return found
+
+
+class FunctionInfo:
+    """A resolvable task body / helper: AST plus its name environment."""
+
+    __slots__ = (
+        "node",
+        "env",
+        "marker",
+        "filename",
+        "line_offset",
+        "suppressions",
+    )
+
+    def __init__(
+        self,
+        node: ast.AST,
+        env: Dict[str, Any],
+        marker: str,
+        filename: str,
+        line_offset: int,
+        suppressions: Optional[Dict[int, FrozenSet[str]]] = None,
+    ) -> None:
+        self.node = node
+        self.env = env
+        self.marker = marker
+        self.filename = filename
+        self.line_offset = line_offset
+        #: ``# repro: ignore`` comments by source line (segment-relative;
+        #: add :attr:`line_offset` for the absolute line).
+        self.suppressions: Dict[int, FrozenSet[str]] = suppressions or {}
+
+    def first_param(self) -> Optional[str]:
+        args = getattr(self.node, "args", None)
+        if args is None or not args.args:
+            return None
+        return args.args[0].arg
+
+    def body_statements(self) -> List[ast.stmt]:
+        if isinstance(self.node, ast.Lambda):
+            return [ast.Expr(value=self.node.body)]
+        return list(self.node.body)
+
+    def local_marker(self, name: str) -> str:
+        """Marker of a nested ``def`` -- one convention everywhere."""
+        return f"{self.marker}.<locals>.{name}"
+
+    def lambda_marker(self, node: ast.Lambda) -> str:
+        return f"{self.marker}.<lambda>@{getattr(node, 'lineno', 0)}"
+
+    def child(self, node: ast.AST, marker: str) -> "FunctionInfo":
+        """A nested def / lambda sharing this info's source coordinates."""
+        return FunctionInfo(
+            node, self.env, marker, self.filename, self.line_offset
+        )
+
+
+def callable_env(func: Callable[..., Any]) -> Dict[str, Any]:
+    """Module globals overlaid with the function's closure cells."""
+    env: Dict[str, Any] = dict(getattr(func, "__globals__", {}) or {})
+    code = getattr(func, "__code__", None)
+    closure = getattr(func, "__closure__", None)
+    if code is not None and closure:
+        for name, cell in zip(code.co_freevars, closure):
+            try:
+                env[name] = cell.cell_contents
+            except ValueError:  # pragma: no cover - empty cell
+                pass
+    return env
+
+
+def info_for_callable(func: Callable[..., Any]) -> Optional[FunctionInfo]:
+    """Parse *func*'s source into a :class:`FunctionInfo`, or ``None``."""
+    try:
+        source = textwrap.dedent(inspect.getsource(func))
+    except (OSError, TypeError):
+        return None
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:  # pragma: no cover - unparseable source
+        return None
+    if not tree.body:
+        return None
+    node = tree.body[0]
+    marker = f"{getattr(func, '__module__', '?')}.{getattr(func, '__qualname__', repr(func))}"
+    try:
+        filename = os.path.basename(inspect.getsourcefile(func) or "?")
+    except TypeError:  # pragma: no cover
+        filename = "?"
+    code = getattr(func, "__code__", None)
+    offset = 0
+    if code is not None:
+        offset = code.co_firstlineno - getattr(node, "lineno", 1)
+    return FunctionInfo(
+        node,
+        callable_env(func),
+        marker,
+        filename,
+        offset,
+        suppressions=scan_suppressions(source),
+    )
+
+
+def resolve_attribute(node: ast.expr, env: Dict[str, Any]) -> Optional[Any]:
+    """Resolve a ``Name`` / dotted ``Attribute`` chain through *env*.
+
+    ``helpers.inner.leaf`` resolves the base name through the
+    environment and follows plain ``getattr`` steps -- enough for module
+    attributes and namespace objects.  Anything dynamic returns ``None``.
+    """
+    chain: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        chain.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    if current.id not in env:
+        return None
+    target: Any = env[current.id]
+    for attr in reversed(chain):
+        try:
+            target = getattr(target, attr)
+        except Exception:
+            return None
+    return target
+
+
+# ---------------------------------------------------------------------------
+# The graph
+# ---------------------------------------------------------------------------
+
+#: Call-site kinds.
+SPAWN = "spawn"
+INLINE = "inline"
+TEMPLATE = "template"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call edge: caller marker, kind, callee marker (or None)."""
+
+    caller: str
+    kind: str                  # SPAWN | INLINE | TEMPLATE
+    callee: Optional[str]      # None when unresolvable
+    site: str                  # file:line
+    detail: str = ""
+
+    @property
+    def resolved(self) -> bool:
+        return self.callee is not None
+
+
+@dataclass
+class DirectFacts:
+    """What one function does *directly* (callees excluded)."""
+
+    patterns: Set[AccessPattern]
+    constructs: bool = False   # spawn / sync / finish / template
+    locks: bool = False        # lock scopes or manual acquire/release
+    escapes: bool = False      # ctx leaves the recognized discipline
+    unresolved: int = 0        # call sites that could not be resolved
+
+
+@dataclass(frozen=True)
+class CallGraphStats:
+    """The ``static.callgraph.*`` counter values for one analysis."""
+
+    functions: int
+    sccs: int
+    unresolved_calls: int
+    recursive_functions: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "functions": self.functions,
+            "sccs": self.sccs,
+            "unresolved_calls": self.unresolved_calls,
+            "recursive_functions": self.recursive_functions,
+        }
+
+
+class CallGraph:
+    """Call graph reachable from one root function."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.infos: Dict[str, FunctionInfo] = {}
+        self.facts: Dict[str, DirectFacts] = {}
+        self.edges: Dict[str, List[CallSite]] = {}
+
+    # -- queries -----------------------------------------------------------
+
+    def unresolved_calls(self) -> int:
+        return sum(facts.unresolved for facts in self.facts.values())
+
+    def sccs(self) -> List[List[str]]:
+        """Strongly connected components, callees-first (Tarjan order).
+
+        Iterative so deep non-recursive chains cannot blow the Python
+        stack; a component is emitted only after every component it can
+        reach, which is exactly the bottom-up summary order.
+        """
+        index: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        components: List[List[str]] = []
+        counter = [0]
+
+        def successors(marker: str) -> List[str]:
+            return [
+                site.callee
+                for site in self.edges.get(marker, [])
+                if site.callee is not None and site.callee in self.facts
+            ]
+
+        for start in self.facts:
+            if start in index:
+                continue
+            # (node, iterator position) work stack.
+            work: List[Tuple[str, int]] = [(start, 0)]
+            while work:
+                node, position = work.pop()
+                if position == 0:
+                    index[node] = lowlink[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recurse = False
+                children = successors(node)
+                while position < len(children):
+                    child = children[position]
+                    position += 1
+                    if child not in index:
+                        work.append((node, position))
+                        work.append((child, 0))
+                        recurse = True
+                        break
+                    if child in on_stack:
+                        lowlink[node] = min(lowlink[node], index[child])
+                if recurse:
+                    continue
+                if lowlink[node] == index[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(component)
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+        return components
+
+    def recursive_markers(self) -> Set[str]:
+        """Markers on some call cycle (non-trivial SCC or a self edge)."""
+        recursive: Set[str] = set()
+        for component in self.sccs():
+            if len(component) > 1:
+                recursive.update(component)
+            else:
+                marker = component[0]
+                if any(
+                    site.callee == marker
+                    for site in self.edges.get(marker, [])
+                ):
+                    recursive.add(marker)
+        return recursive
+
+    def stats(self) -> CallGraphStats:
+        return CallGraphStats(
+            functions=len(self.facts),
+            sccs=len(self.sccs()),
+            unresolved_calls=self.unresolved_calls(),
+            recursive_functions=len(self.recursive_markers()),
+        )
+
+
+def build_callgraph(root: Any) -> CallGraph:
+    """The call graph reachable from *root* (callable or FunctionInfo)."""
+    if isinstance(root, FunctionInfo):
+        info: Optional[FunctionInfo] = root
+    else:
+        info = info_for_callable(root)
+    if info is None:
+        marker = f"{getattr(root, '__module__', '?')}.{getattr(root, '__qualname__', repr(root))}"
+        graph = CallGraph(marker)
+        return graph
+    graph = CallGraph(info.marker)
+    queue: List[FunctionInfo] = [info]
+    while queue:
+        current = queue.pop()
+        if current.marker in graph.infos:
+            continue
+        graph.infos[current.marker] = current
+        collector = _FactCollector(current)
+        collector.run()
+        graph.facts[current.marker] = collector.facts
+        graph.edges[current.marker] = collector.sites
+        queue.extend(collector.callees)
+    return graph
+
+
+class _FactCollector:
+    """One function's direct facts + call sites, by explicit AST walk.
+
+    The traversal recognizes the same ctx discipline the skeleton walker
+    does -- method calls on a ctx name, helpers taking ctx first, spawn
+    bodies, algorithm templates -- and conservatively flags everything
+    else (``escapes`` / ``unresolved``).  Child nodes consumed by a
+    recognized form are not re-visited, so a ctx name inside
+    ``ctx.read(...)`` does not count as an escape.
+    """
+
+    def __init__(self, info: FunctionInfo) -> None:
+        self.info = info
+        self.facts = DirectFacts(patterns=set())
+        self.sites: List[CallSite] = []
+        #: FunctionInfos of resolved callees, for the BFS frontier.
+        self.callees: List[FunctionInfo] = []
+        self.ctx_names: Set[str] = set()
+        self.local_defs: Dict[str, FunctionInfo] = {}
+
+    def run(self) -> None:
+        first = self.info.first_param()
+        if first is not None:
+            self.ctx_names.add(first)
+        for statement in self.info.body_statements():
+            self._stmt(statement)
+
+    # -- traversal ---------------------------------------------------------
+
+    def _site(self, node: ast.AST) -> str:
+        line = getattr(node, "lineno", 0) + self.info.line_offset
+        return f"{self.info.filename}:{line}"
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.local_defs[stmt.name] = self.info.child(
+                stmt, self.info.local_marker(stmt.name)
+            )
+            return
+        if isinstance(stmt, ast.Assign):
+            value = stmt.value
+            if (
+                isinstance(value, ast.Name)
+                and value.id in self.ctx_names
+                and all(isinstance(t, ast.Name) for t in stmt.targets)
+            ):
+                for target in stmt.targets:
+                    self.ctx_names.add(target.id)
+                return
+            self._expr(value)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.ctx_names.discard(target.id)
+                else:
+                    self._expr(target)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._stmt(child)
+            elif isinstance(child, ast.expr):
+                self._expr(child)
+            elif isinstance(child, ast.withitem):
+                self._withitem(child)
+            elif isinstance(child, ast.excepthandler):
+                for sub in child.body:
+                    self._stmt(sub)
+            elif isinstance(child, (ast.keyword, ast.FormattedValue)):
+                self._expr(child.value)
+
+    def _withitem(self, item: ast.withitem) -> None:
+        expr = item.context_expr
+        method = self._ctx_method(expr)
+        if method == "lock":
+            self.facts.locks = True
+            return
+        if method == "finish":
+            self.facts.constructs = True
+            return
+        self._expr(expr)
+
+    def _expr(self, node: ast.expr) -> None:
+        if isinstance(node, ast.Call):
+            self._call(node)
+            return
+        if isinstance(node, ast.Name):
+            if node.id in self.ctx_names:
+                self.facts.escapes = True
+            return
+        if isinstance(node, ast.Lambda):
+            if self._references_ctx(node.body):
+                self.facts.escapes = True
+            return
+        if isinstance(node, ast.Attribute):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id in self.ctx_names
+            ):
+                if node.attr not in QUERY_METHODS:
+                    self.facts.escapes = True
+                return
+            self._expr(node.value)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._expr(child)
+            elif isinstance(child, ast.comprehension):
+                self._expr(child.iter)
+                for condition in child.ifs:
+                    self._expr(condition)
+            elif isinstance(child, (ast.keyword, ast.FormattedValue)):
+                self._expr(child.value)
+
+    def _call(self, node: ast.Call) -> None:
+        func = node.func
+        method = self._ctx_method(func)
+        if method is not None:
+            self._ctx_call(method, node)
+            return
+        if (
+            isinstance(func, ast.Name)
+            and func.id in TEMPLATES
+            and node.args
+            and self._is_ctx(node.args[0])
+        ):
+            self._template_call(func.id, node)
+            return
+        ctx_positions = [
+            index for index, arg in enumerate(node.args) if self._is_ctx(arg)
+        ]
+        for index, arg in enumerate(node.args):
+            if index not in ctx_positions:
+                self._expr(arg)
+        for keyword in node.keywords:
+            if self._is_ctx(keyword.value):
+                self.facts.escapes = True
+            else:
+                self._expr(keyword.value)
+        if not isinstance(func, ast.Name):
+            self._expr_func_shell(func)
+        if ctx_positions == [0]:
+            self._edge(INLINE, func, node)
+        elif ctx_positions:
+            self.facts.escapes = True
+
+    def _expr_func_shell(self, func: ast.expr) -> None:
+        """Scan a non-Name callee expression without flagging the chain."""
+        if isinstance(func, ast.Attribute):
+            base = func
+            while isinstance(base, ast.Attribute):
+                base = base.value
+            if isinstance(base, ast.Name):
+                if base.id in self.ctx_names:
+                    self.facts.escapes = True
+                return
+            self._expr(base)
+            return
+        self._expr(func)
+
+    def _ctx_call(self, method: str, node: ast.Call) -> None:
+        if method in READ_METHODS or method in WRITE_METHODS or method in RMW_METHODS:
+            location_arg = _call_argument(node, 0, "location")
+            for index, arg in enumerate(node.args):
+                if arg is not location_arg:
+                    self._expr(arg)
+            for keyword in node.keywords:
+                if keyword.value is not location_arg:
+                    self._expr(keyword.value)
+            if location_arg is None:
+                self.facts.escapes = True
+                return
+            kind, value = _location_pattern(location_arg)
+            if method not in WRITE_METHODS:
+                self.facts.patterns.add(AccessPattern(kind, value, READ))
+            if method not in READ_METHODS:
+                self.facts.patterns.add(AccessPattern(kind, value, WRITE))
+        elif method == "spawn":
+            self.facts.constructs = True
+            body_arg = _call_argument(node, 0, "body")
+            for arg in node.args:
+                if arg is not body_arg:
+                    self._expr(arg)
+            for keyword in node.keywords:
+                if keyword.value is not body_arg:
+                    self._expr(keyword.value)
+            if body_arg is None:
+                self._unresolved(SPAWN, node, "spawn without a body")
+            else:
+                self._edge(SPAWN, body_arg, node)
+        elif method == "sync":
+            self.facts.constructs = True
+        elif method in ("acquire", "release"):
+            self.facts.locks = True
+        elif method in ("lock", "finish"):
+            # Outside a with statement: untrackable context manager.
+            self.facts.escapes = True
+        elif method in QUERY_METHODS:
+            pass
+        else:
+            self.facts.escapes = True
+
+    def _template_call(self, name: str, node: ast.Call) -> None:
+        self.facts.constructs = True
+        spec, keyword_name = TEMPLATES[name]
+        bodies: List[ast.expr] = []
+        consumed: List[ast.expr] = []
+        if spec == "*":
+            bodies = list(node.args[1:])
+            consumed = list(node.args[1:])
+        elif isinstance(spec, str) and spec.startswith("list:"):
+            index = int(spec.split(":", 1)[1])
+            stages = _call_argument(node, index, keyword_name)
+            if isinstance(stages, (ast.List, ast.Tuple)):
+                bodies = list(stages.elts)
+            elif stages is not None:
+                self._unresolved(TEMPLATE, node, f"{name} stages not a literal list")
+            if stages is not None:
+                consumed = [stages]
+        else:
+            body = _call_argument(node, spec, keyword_name)
+            if body is not None:
+                bodies = [body]
+                consumed = [body]
+            else:
+                self._unresolved(TEMPLATE, node, f"{name} without a body")
+        for index, arg in enumerate(node.args):
+            if index == 0 or arg in consumed:
+                continue
+            self._expr(arg)
+        for keyword in node.keywords:
+            if keyword.value not in consumed:
+                self._expr(keyword.value)
+        for body in bodies:
+            self._edge(TEMPLATE, body, node)
+
+    # -- resolution --------------------------------------------------------
+
+    def _edge(self, kind: str, target: ast.expr, node: ast.Call) -> None:
+        """Record one call site, resolving *target* to a FunctionInfo."""
+        site = self._site(node)
+        callee = self._resolve(target)
+        if callee is None:
+            self._unresolved(kind, node, ast.dump(target)[:60])
+            return
+        self.sites.append(CallSite(self.info.marker, kind, callee.marker, site))
+        self.callees.append(callee)
+
+    def _unresolved(self, kind: str, node: ast.Call, detail: str) -> None:
+        self.facts.unresolved += 1
+        self.sites.append(
+            CallSite(self.info.marker, kind, None, self._site(node), detail)
+        )
+
+    def _resolve(self, target: ast.expr) -> Optional[FunctionInfo]:
+        if isinstance(target, ast.Lambda):
+            return self.info.child(target, self.info.lambda_marker(target))
+        if isinstance(target, ast.Name) and target.id in self.local_defs:
+            return self.local_defs[target.id]
+        if isinstance(target, (ast.Name, ast.Attribute)):
+            resolved = resolve_attribute(target, self.info.env)
+            if callable(resolved):
+                return info_for_callable(resolved)
+        return None
+
+    # -- predicates --------------------------------------------------------
+
+    def _ctx_method(self, node: ast.expr) -> Optional[str]:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in self.ctx_names
+        ):
+            return node.func.attr
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self.ctx_names
+        ):
+            return node.attr
+        return None
+
+    def _is_ctx(self, node: ast.expr) -> bool:
+        return isinstance(node, ast.Name) and node.id in self.ctx_names
+
+    def _references_ctx(self, node: ast.AST) -> bool:
+        return any(
+            isinstance(sub, ast.Name) and sub.id in self.ctx_names
+            for sub in ast.walk(node)
+        )

@@ -22,9 +22,19 @@ The pass also proves locations *schedule-serial*: an exact location whose
 accessing steps are pairwise non-parallel (and not self-parallel) can
 never participate in any violation, on any input, under any schedule --
 the fact the sharded checker's ``--static-prefilter`` consumes.  The
-proof is only trusted when the skeleton is fully exact
-(:attr:`LintReport.prefilter_safe`); one imprecise pattern or unresolved
-body disables filtering entirely.
+proof is **per location**: an imprecision poisons only the locations it
+may touch.  An imprecise access pattern poisons every location it
+may-alias; a localized skeleton note (one carrying ``patterns``) poisons
+the locations those patterns may match; only imprecisions with an
+unknown blast radius -- unresolved task bodies, ctx escapes, exceeded
+budgets, over-trusted control flow -- poison the whole program.  The
+proof never consults locksets, so lock-related notes (imbalances,
+dynamic lock names) do not poison anything: soundness rests solely on
+the skeleton over-approximating accesses and parallelism.
+
+Suppression comments (``# repro: ignore[SAV001]`` on the flagged line)
+move diagnostics into :attr:`LintReport.suppressed` without deleting
+them, so SARIF output can mark them suppressed-in-source.
 """
 
 from __future__ import annotations
@@ -88,6 +98,21 @@ _NOTE_CODES: Dict[str, str] = {
     "control-flow-skip": ANALYSIS_LIMIT,
     "recursive-inline": ANALYSIS_LIMIT,
 }
+
+#: Note kinds whose blast radius is unknown: they may hide accesses or
+#: parallelism anywhere, so they poison every location's serial proof.
+#: (``recursive-inline`` joins them only when its note carries no
+#: localizing patterns; lock-related notes never poison -- the serial
+#: proof does not consult locksets.)
+GLOBAL_POISON_NOTE_KINDS = frozenset(
+    {
+        "unresolved-task",
+        "ctx-escape",
+        "unsupported",
+        "budget-exceeded",
+        "control-flow-skip",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -154,16 +179,25 @@ class LintReport:
         candidates: List[StaticCandidate],
         diagnostics: List[Diagnostic],
         serial_locations: FrozenSet[Location],
+        poisoned_locations: Optional[Dict[Location, Tuple[str, ...]]] = None,
+        suppressed: Optional[List[Diagnostic]] = None,
     ) -> None:
         self.target = target
         self.skeleton = skeleton
         self.mhp = mhp
         #: Candidate triples, exact first.
         self.candidates = candidates
-        #: Every diagnostic (candidates included), severity-major order.
+        #: Active diagnostics (candidates included), severity-major order.
         self.diagnostics = diagnostics
-        #: Exact locations proven schedule-serial by the static MHP.
+        #: Exact locations individually proven schedule-serial.
         self.serial_locations = serial_locations
+        #: Exact locations whose steps are serial but whose proof an
+        #: imprecision voided, mapped to the human-readable reasons.
+        self.poisoned_locations: Dict[Location, Tuple[str, ...]] = (
+            poisoned_locations or {}
+        )
+        #: Diagnostics silenced by ``# repro: ignore`` comments.
+        self.suppressed: List[Diagnostic] = suppressed or []
 
     # -- verdicts ----------------------------------------------------------
 
@@ -181,19 +215,28 @@ class LintReport:
 
     @property
     def prefilter_safe(self) -> bool:
-        """May the sharded checker trust :attr:`serial_locations`?
+        """Is the whole skeleton exact (no approximations anywhere)?
 
-        Only when the skeleton is provably an over-approximation: every
-        location pattern exact, every task body resolved, no construct
-        the builder had to approximate.
+        Historical all-or-nothing gate, kept for introspection: the
+        prefilter itself now trusts :attr:`serial_locations` per
+        location, so a partially-imprecise program still filters its
+        individually-proven locations.
         """
         return self.skeleton.is_exact
 
     def prefilter_locations(self) -> FrozenSet[Location]:
-        """Locations the dynamic checker may skip -- empty unless safe."""
-        if not self.prefilter_safe:
-            return frozenset()
+        """Locations the dynamic checker may skip.
+
+        Each one is individually proven: its accessing steps are
+        pairwise schedule-serial and no imprecision -- imprecise access
+        pattern, approximated helper, unresolved body -- may touch it.
+        """
         return self.serial_locations
+
+    def callgraph_stats(self) -> Optional[Dict[str, int]]:
+        """``static.callgraph.*`` counters, when the AST front end ran."""
+        stats = self.skeleton.callgraph_stats
+        return stats.to_dict() if stats is not None else None
 
     def severity_counts(self) -> Dict[str, int]:
         counts = {ERROR: 0, WARNING: 0, INFO: 0}
@@ -214,20 +257,35 @@ class LintReport:
         ]
         for diagnostic in self.diagnostics:
             lines.append(f"  {diagnostic.describe()}")
+        for diagnostic in self.suppressed:
+            lines.append(f"  [suppressed] {diagnostic.describe()}")
         if self.serial_locations:
             rendered = ", ".join(
                 sorted(repr(loc) for loc in self.serial_locations)
             )
-            safety = "usable" if self.prefilter_safe else "NOT usable"
             lines.append(
-                f"  schedule-serial location(s) [{safety} as prefilter]: "
-                f"{rendered}"
+                f"  schedule-serial location(s) [prefilterable]: {rendered}"
+            )
+        if self.poisoned_locations:
+            for location in sorted(
+                self.poisoned_locations, key=repr
+            ):
+                reasons = "; ".join(self.poisoned_locations[location])
+                lines.append(
+                    f"  poisoned location {location!r}: {reasons}"
+                )
+        stats = self.callgraph_stats()
+        if stats is not None:
+            lines.append(
+                f"  call graph: {stats['functions']} function(s) in "
+                f"{stats['sccs']} SCC(s), "
+                f"{stats['unresolved_calls']} unresolved call(s)"
             )
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, Any]:
         counts = self.severity_counts()
-        return {
+        result = {
             "target": self.target,
             "counts": {
                 "errors": counts[ERROR],
@@ -236,15 +294,30 @@ class LintReport:
                 "accesses": len(self.skeleton.accesses),
                 "steps": len(self.skeleton.steps()),
                 "candidates": len(self.candidates),
+                "suppressed": len(self.suppressed),
             },
             "exact_skeleton": self.skeleton.is_exact,
             "prefilter_safe": self.prefilter_safe,
             "serial_locations": sorted(
                 repr(loc) for loc in self.serial_locations
             ),
+            "prefilter": {
+                "proven": sorted(repr(loc) for loc in self.serial_locations),
+                "poisoned": {
+                    repr(location): list(reasons)
+                    for location, reasons in sorted(
+                        self.poisoned_locations.items(), key=lambda kv: repr(kv[0])
+                    )
+                },
+            },
             "candidates": [c.to_dict() for c in self.candidates],
             "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "suppressed": [d.to_dict() for d in self.suppressed],
         }
+        stats = self.callgraph_stats()
+        if stats is not None:
+            result["callgraph"] = stats
+        return result
 
 
 # ---------------------------------------------------------------------------
@@ -330,10 +403,31 @@ def _find_candidates(
     return candidates
 
 
-def _serial_locations(
+def _global_poison_reasons(skeleton: StaticSkeleton) -> List[str]:
+    """Reasons that void *every* location's serial proof."""
+    reasons: List[str] = []
+    for note in skeleton.notes:
+        if note.kind in GLOBAL_POISON_NOTE_KINDS or (
+            note.kind == "recursive-inline" and not note.patterns
+        ):
+            reason = f"{note.kind} @ {note.site}"
+            if reason not in reasons:
+                reasons.append(reason)
+    return reasons
+
+
+def _prefilter_analysis(
     skeleton: StaticSkeleton, mhp: MHPIndex
-) -> FrozenSet[Location]:
-    """Exact locations whose accessing steps are pairwise (and self-) serial."""
+) -> Tuple[FrozenSet[Location], Dict[Location, Tuple[str, ...]]]:
+    """Per-location serial proofs and what poisons the failed ones.
+
+    Returns ``(serial, poisoned)``: *serial* holds exact locations whose
+    accessing steps are pairwise non-parallel AND that no imprecision
+    may touch; *poisoned* maps locations whose steps are serial but
+    whose proof an imprecision voided to the reasons.  Locations with
+    genuinely parallel accesses appear in neither -- they are the
+    checker's job, not a precision loss.
+    """
     exact_groups: Dict[Location, List[StaticAccess]] = {}
     imprecise: List[StaticAccess] = []
     for access in skeleton.accesses:
@@ -341,11 +435,16 @@ def _serial_locations(
             exact_groups.setdefault(access.location, []).append(access)
         else:
             imprecise.append(access)
+    global_reasons = _global_poison_reasons(skeleton)
+    localized_notes = [
+        note
+        for note in skeleton.notes
+        if note.patterns
+        and note.kind not in GLOBAL_POISON_NOTE_KINDS
+    ]
     serial: set = set()
+    poisoned: Dict[Location, Tuple[str, ...]] = {}
     for location, group in exact_groups.items():
-        representative = group[0]
-        if any(other.may_alias(representative) for other in imprecise):
-            continue  # an imprecise pattern may hit this location too
         steps = list({access.step for access in group})
         if any(mhp.self_parallel(step) for step in steps):
             continue
@@ -355,8 +454,29 @@ def _serial_locations(
             for j in range(i + 1, len(steps))
         ):
             continue
-        serial.add(location)
-    return frozenset(serial)
+        representative = group[0]
+        reasons = list(global_reasons)
+        for other in imprecise:
+            if other.may_alias(representative):
+                reasons.append(
+                    f"imprecise access {other.pattern.describe()} @ {other.site}"
+                )
+        for note in localized_notes:
+            if any(pattern.matches(location) for pattern in note.patterns):
+                reasons.append(f"{note.kind} @ {note.site}")
+        if reasons:
+            poisoned[location] = tuple(dict.fromkeys(reasons))
+        else:
+            serial.add(location)
+    return frozenset(serial), poisoned
+
+
+def _serial_locations(
+    skeleton: StaticSkeleton, mhp: MHPIndex
+) -> FrozenSet[Location]:
+    """Exact locations with an unpoisoned pairwise-serial proof."""
+    serial, _ = _prefilter_analysis(skeleton, mhp)
+    return serial
 
 
 def _note_diagnostics(notes: Sequence[SkeletonNote]) -> List[Diagnostic]:
@@ -375,19 +495,43 @@ def _note_diagnostics(notes: Sequence[SkeletonNote]) -> List[Diagnostic]:
     return out
 
 
+def _split_suppressed(
+    diagnostics: List[Diagnostic],
+    suppressions: Dict[str, FrozenSet[str]],
+) -> Tuple[List[Diagnostic], List[Diagnostic]]:
+    """Partition diagnostics into (active, suppressed-in-source)."""
+    if not suppressions:
+        return diagnostics, []
+    active: List[Diagnostic] = []
+    suppressed: List[Diagnostic] = []
+    for diagnostic in diagnostics:
+        codes = suppressions.get(diagnostic.site)
+        if codes is not None and (not codes or diagnostic.code in codes):
+            suppressed.append(diagnostic)
+        else:
+            active.append(diagnostic)
+    return active, suppressed
+
+
 def lint_skeleton(skeleton: StaticSkeleton, target: str = "") -> LintReport:
     """Run the full lint pass over an already-built skeleton."""
     mhp = MHPIndex(skeleton)
     candidates = _find_candidates(skeleton, mhp)
     diagnostics = [c.to_diagnostic() for c in candidates]
     diagnostics += _note_diagnostics(skeleton.notes)
+    active, suppressed = _split_suppressed(
+        sort_diagnostics(diagnostics), skeleton.suppressions
+    )
+    serial, poisoned = _prefilter_analysis(skeleton, mhp)
     return LintReport(
         target=target or skeleton.source,
         skeleton=skeleton,
         mhp=mhp,
         candidates=candidates,
-        diagnostics=sort_diagnostics(diagnostics),
-        serial_locations=_serial_locations(skeleton, mhp),
+        diagnostics=active,
+        serial_locations=serial,
+        poisoned_locations=poisoned,
+        suppressed=suppressed,
     )
 
 

@@ -39,18 +39,27 @@ Everything the walker cannot model soundly -- unresolvable task bodies,
 a context object escaping the ``ctx`` access discipline, unbalanced
 manual lock usage, control flow that can skip a task construct -- is
 recorded as a structured :class:`SkeletonNote`.  Notes whose kind is in
-:data:`IMPRECISE_NOTE_KINDS` void :attr:`StaticSkeleton.is_exact`, which
-downstream consumers (the lint pass, the sharded checker's static
-prefilter) use as the safety gate.
+:data:`IMPRECISE_NOTE_KINDS` void :attr:`StaticSkeleton.is_exact`; the
+lint pass additionally uses each note's optional ``patterns`` to poison
+only the locations a given imprecision may touch, so one approximated
+helper no longer disables the prefilter for the whole program.
+
+The AST front end is interprocedural: :func:`skeleton_from_function`
+first builds the call graph reachable from the target
+(:mod:`repro.static.callgraph`) and walks helpers by inlining --
+names resolve through closures, module globals, and dotted attribute
+chains.  Recursive helpers are unrolled twice (so same-step pairs with
+their true locksets materialize) and then cut off using the bottom-up
+:mod:`repro.static.summaries`: a step-local summary proves deeper
+unrolling redundant (the skeleton stays exact); anything else
+contributes the summary's access patterns plus a ``recursive-inline``
+note carrying those patterns for per-location poisoning.
 """
 
 from __future__ import annotations
 
 import ast
-import inspect
-import os
-import textwrap
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
@@ -73,7 +82,18 @@ from repro.static.accesses import (
     _literal,
     _location_pattern,
 )
+from repro.static.callgraph import (
+    TEMPLATES as _TEMPLATES,
+    CallGraph,
+    CallGraphStats,
+    FunctionInfo as _FunctionInfo,
+    build_callgraph,
+    callable_env as _callable_env,
+    info_for_callable as _info_for_callable,
+    resolve_attribute as _resolve_attribute,
+)
 from repro.static.locksets import StaticLockState
+from repro.static.summaries import FunctionSummary, compute_summaries
 
 Location = Hashable
 
@@ -87,16 +107,6 @@ _READ_METHODS = frozenset({"read"})
 _WRITE_METHODS = frozenset({"write"})
 _RMW_METHODS = frozenset({"add", "update"})
 _QUERY_METHODS = frozenset({"locked", "task_id", "depth"})
-
-#: The parallel algorithm templates and where their task bodies live:
-#: (positional index, keyword name) pairs, or ``"*"`` for "every
-#: positional after ctx" / ``"list"`` for a literal list argument.
-_TEMPLATES: Dict[str, Tuple[Any, Optional[str]]] = {
-    "parallel_for": (3, "body"),
-    "parallel_reduce": (3, "map_body"),
-    "parallel_invoke": ("*", None),
-    "parallel_pipeline": ("list:2", "stages"),
-}
 
 #: Note kinds that void the skeleton's exactness claim (and with it the
 #: static prefilter): anything that could make the skeleton *miss*
@@ -125,11 +135,23 @@ class _BudgetExceeded(Exception):
 
 @dataclass(frozen=True)
 class SkeletonNote:
-    """One structured fact the builder recorded about the program."""
+    """One structured fact the builder recorded about the program.
+
+    ``patterns`` localizes the imprecision when the builder can bound
+    which locations it may involve (e.g. a recursive helper with a fully
+    resolved summary): the lint pass then poisons only locations one of
+    these patterns may match, instead of the whole program.  An empty
+    tuple means the blast radius is unknown.
+    """
 
     kind: str
     site: str
     detail: str = ""
+    patterns: Tuple[AccessPattern, ...] = field(default=(), compare=False)
+
+    @property
+    def localized(self) -> bool:
+        return bool(self.patterns)
 
 
 class StaticNode:
@@ -253,6 +275,12 @@ class StaticSkeleton:
         #: Task-body markers that spawn themselves (directly or through a
         #: cycle): their regions stand for unboundedly many instances.
         self.recursive_markers: set = set()
+        #: ``static.callgraph.*`` stats from the AST front end (``None``
+        #: for the exact spec front end, which has no call graph).
+        self.callgraph_stats: Optional[CallGraphStats] = None
+        #: ``# repro: ignore[...]`` comments by absolute "file:line" site;
+        #: an empty frozenset suppresses every code on that line.
+        self.suppressions: Dict[str, FrozenSet[str]] = {}
 
     # -- construction ------------------------------------------------------
 
@@ -261,8 +289,14 @@ class StaticSkeleton:
         self.nodes.append(node)
         return node
 
-    def note(self, kind: str, site: str, detail: str = "") -> None:
-        self.notes.append(SkeletonNote(kind, site, detail))
+    def note(
+        self,
+        kind: str,
+        site: str,
+        detail: str = "",
+        patterns: Tuple[AccessPattern, ...] = (),
+    ) -> None:
+        self.notes.append(SkeletonNote(kind, site, detail, patterns))
 
     # -- queries -----------------------------------------------------------
 
@@ -469,79 +503,20 @@ def skeleton_from_spec(spec: Sequence[Any], source: str = "<spec>") -> StaticSke
 # ---------------------------------------------------------------------------
 
 
-class _FunctionInfo:
-    """A resolvable task body / helper: AST plus its name environment."""
-
-    __slots__ = ("node", "env", "marker", "filename", "line_offset")
-
-    def __init__(
-        self,
-        node: ast.AST,
-        env: Dict[str, Any],
-        marker: str,
-        filename: str,
-        line_offset: int,
-    ) -> None:
-        self.node = node
-        self.env = env
-        self.marker = marker
-        self.filename = filename
-        self.line_offset = line_offset
-
-    def first_param(self) -> Optional[str]:
-        args = getattr(self.node, "args", None)
-        if args is None or not args.args:
-            return None
-        return args.args[0].arg
-
-    def body_statements(self) -> List[ast.stmt]:
-        if isinstance(self.node, ast.Lambda):
-            return [ast.Expr(value=self.node.body)]
-        return list(self.node.body)
-
-
-def _callable_env(func: Callable[..., Any]) -> Dict[str, Any]:
-    """Module globals overlaid with the function's closure cells."""
-    env: Dict[str, Any] = dict(getattr(func, "__globals__", {}) or {})
-    code = getattr(func, "__code__", None)
-    closure = getattr(func, "__closure__", None)
-    if code is not None and closure:
-        for name, cell in zip(code.co_freevars, closure):
-            try:
-                env[name] = cell.cell_contents
-            except ValueError:  # pragma: no cover - empty cell
-                pass
-    return env
-
-
-def _info_for_callable(func: Callable[..., Any]) -> Optional[_FunctionInfo]:
-    try:
-        source = textwrap.dedent(inspect.getsource(func))
-    except (OSError, TypeError):
-        return None
-    try:
-        tree = ast.parse(source)
-    except SyntaxError:  # pragma: no cover - unparseable source
-        return None
-    if not tree.body:
-        return None
-    node = tree.body[0]
-    marker = f"{getattr(func, '__module__', '?')}.{getattr(func, '__qualname__', repr(func))}"
-    try:
-        filename = os.path.basename(inspect.getsourcefile(func) or "?")
-    except TypeError:  # pragma: no cover
-        filename = "?"
-    code = getattr(func, "__code__", None)
-    offset = 0
-    if code is not None:
-        offset = code.co_firstlineno - getattr(node, "lineno", 1)
-    return _FunctionInfo(node, _callable_env(func), marker, filename, offset)
+#: Unrollings of a recursive helper before the summary cutoff: two, so
+#: that same-step access pairs materialize with their true locksets.
+_RECURSIVE_UNROLL = 2
 
 
 class _AstSkeletonBuilder:
     """Interprets task-body ASTs against the static scope-frame rules."""
 
-    def __init__(self, skeleton: StaticSkeleton, budget: int = _DEFAULT_BUDGET) -> None:
+    def __init__(
+        self,
+        skeleton: StaticSkeleton,
+        budget: int = _DEFAULT_BUDGET,
+        graph: Optional[CallGraph] = None,
+    ) -> None:
         self.sk = skeleton
         self.budget = budget
         self.ops = 0
@@ -549,6 +524,16 @@ class _AstSkeletonBuilder:
         self.spawn_chain: List[str] = []
         #: markers of helpers on the current inline chain.
         self.inline_chain: List[str] = []
+        #: the interprocedural call graph, when the front end built one.
+        self.graph = graph
+        self._summaries: Optional[Dict[str, FunctionSummary]] = None
+
+    def _summary_for(self, marker: str) -> Optional[FunctionSummary]:
+        if self.graph is None:
+            return None
+        if self._summaries is None:
+            self._summaries = compute_summaries(self.graph)
+        return self._summaries.get(marker)
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -561,10 +546,23 @@ class _AstSkeletonBuilder:
         line = getattr(node, "lineno", 0) + info.line_offset
         return f"{info.filename}:{line}"
 
+    def _merge_suppressions(self, info: _FunctionInfo) -> None:
+        """Register *info*'s ``# repro: ignore`` comments by absolute site."""
+        for line, codes in getattr(info, "suppressions", {}).items():
+            key = f"{info.filename}:{line + info.line_offset}"
+            existing = self.sk.suppressions.get(key)
+            if existing is None:
+                self.sk.suppressions[key] = codes
+            elif codes and existing:
+                self.sk.suppressions[key] = existing | codes
+            else:
+                self.sk.suppressions[key] = frozenset()
+
     # -- task entry --------------------------------------------------------
 
     def build_task(self, info: _FunctionInfo, base: StaticNode) -> None:
         """Walk *info* as one task's body rooted at *base*."""
+        self._merge_suppressions(info)
         ctx_name = info.first_param()
         cursor = _TaskCursor(self.sk, base)
         site = self._site(info, info.node)
@@ -662,12 +660,8 @@ class _AstSkeletonBuilder:
                     "task constructs inside a try block",
                 )
         elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            state.local_defs[stmt.name] = _FunctionInfo(
-                stmt,
-                state.info.env,
-                f"{state.info.marker}.<locals>.{stmt.name}",
-                state.info.filename,
-                state.info.line_offset,
+            state.local_defs[stmt.name] = state.info.child(
+                stmt, state.info.local_marker(stmt.name)
             )
         elif isinstance(stmt, (ast.Import, ast.ImportFrom, ast.Pass, ast.Global, ast.Nonlocal)):
             pass
@@ -810,10 +804,11 @@ class _AstSkeletonBuilder:
                 )
             else:
                 self._scan_expr(state, keyword.value, barrier)
-        if not isinstance(func, ast.Name):
+        inlining = ctx_positions == [0] and isinstance(func, (ast.Name, ast.Attribute))
+        if not isinstance(func, ast.Name) and not inlining:
             self._scan_expr(state, func, barrier)
-        if ctx_positions == [0] and isinstance(func, ast.Name):
-            self._inline_call(state, func.id, node, barrier)
+        if inlining:
+            self._inline_call(state, func, node, barrier)
         elif ctx_positions:
             self.sk.note(
                 "ctx-escape",
@@ -964,27 +959,25 @@ class _AstSkeletonBuilder:
         cursor.finish_exit()
 
     def _inline_call(
-        self, state: "_WalkState", name: str, node: ast.Call, barrier: int
+        self, state: "_WalkState", func: ast.expr, node: ast.Call, barrier: int
     ) -> None:
         """A helper receiving the context runs in the caller's task: inline."""
         site = self._site(state.info, node)
-        info = self._resolve_name(state, name)
+        name = self._callee_name(func)
+        info = self._resolve_callee(state, func)
         if info is None:
             self.sk.note(
                 "ctx-escape", site, f"context passed to unresolvable callee {name!r}"
             )
             return
-        if info.marker in self.inline_chain:
-            self.sk.note(
-                "recursive-inline",
-                site,
-                f"recursive helper {name!r}: walked once, multiplicity unknown",
-            )
+        if self.inline_chain.count(info.marker) >= _RECURSIVE_UNROLL:
+            self._recursive_cutoff(state, info, name, site)
             return
         ctx_param = info.first_param()
         if ctx_param is None:
             self.sk.note("ctx-escape", site, f"callee {name!r} has no parameters")
             return
+        self._merge_suppressions(info)
         self.inline_chain.append(info.marker)
         try:
             inner = _WalkState(info, state.cursor, {ctx_param})
@@ -992,6 +985,68 @@ class _AstSkeletonBuilder:
             state.early_exits.extend(inner.early_exits)
         finally:
             self.inline_chain.pop()
+
+    def _recursive_cutoff(
+        self, state: "_WalkState", info: _FunctionInfo, name: str, site: str
+    ) -> None:
+        """Stop unrolling a recursive helper, consulting its summary.
+
+        The helper has already been walked :data:`_RECURSIVE_UNROLL`
+        times on this chain, so every same-step access pair it can form
+        exists with its true locksets.  Three cases remain for the
+        deeper iterations:
+
+        * a **step-local** summary (straight-line ctx accesses only)
+          repeats triples the unrolling already emitted -- nothing to
+          add, and the skeleton stays exact;
+        * a **resolved** summary bounds the deeper effects: emit its
+          access patterns in the current step/lockset (may-accesses) and
+          localize the imprecision to exactly those patterns;
+        * anything else (ctx escapes or unresolved calls below) leaves
+          the blast radius unknown: an unlocalized note poisons the
+          whole program, as before.
+        """
+        summary = self._summary_for(info.marker)
+        if summary is not None and summary.step_local:
+            return
+        cursor = state.cursor
+        patterns: Tuple[AccessPattern, ...] = ()
+        if summary is not None:
+            for pattern in sorted(
+                summary.patterns, key=lambda p: repr((p.kind, p.location, p.access_type))
+            ):
+                cursor.access(pattern.kind, pattern.location, pattern.access_type, site)
+            if summary.resolved:
+                patterns = tuple(summary.patterns)
+        self.sk.note(
+            "recursive-inline",
+            site,
+            f"recursive helper {name!r}: unrolled {_RECURSIVE_UNROLL}x, deeper "
+            f"iterations approximated by its summary",
+            patterns=patterns,
+        )
+
+    def _callee_name(self, func: ast.expr) -> str:
+        parts: List[str] = []
+        current = func
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if isinstance(current, ast.Name):
+            parts.append(current.id)
+        else:
+            parts.append("<expr>")
+        return ".".join(reversed(parts))
+
+    def _resolve_callee(
+        self, state: "_WalkState", func: ast.expr
+    ) -> Optional[_FunctionInfo]:
+        if isinstance(func, ast.Name):
+            return self._resolve_name(state, func.id)
+        resolved = _resolve_attribute(func, state.info.env)
+        if callable(resolved):
+            return _info_for_callable(resolved)
+        return None
 
     # -- small helpers -----------------------------------------------------
 
@@ -1067,13 +1122,11 @@ class _AstSkeletonBuilder:
         if isinstance(node, ast.Name):
             return self._resolve_name(state, node.id)
         if isinstance(node, ast.Lambda):
-            return _FunctionInfo(
-                node,
-                state.info.env,
-                f"{state.info.marker}.<lambda>@{getattr(node, 'lineno', 0)}",
-                state.info.filename,
-                state.info.line_offset,
-            )
+            return state.info.child(node, state.info.lambda_marker(node))
+        if isinstance(node, ast.Attribute):
+            resolved = _resolve_attribute(node, state.info.env)
+            if callable(resolved):
+                return _info_for_callable(resolved)
         return None
 
     def _resolve_name(self, state: "_WalkState", name: str) -> Optional[_FunctionInfo]:
@@ -1104,14 +1157,24 @@ class _WalkState:
 def skeleton_from_function(
     func: Callable[..., Any], budget: int = _DEFAULT_BUDGET
 ) -> StaticSkeleton:
-    """Best-effort static skeleton of a task body function."""
+    """Best-effort static skeleton of a task body function.
+
+    Builds the interprocedural call graph first (helpers, spawned
+    bodies, template bodies, through closures / module globals /
+    attribute chains), records its ``static.callgraph.*`` stats on the
+    skeleton, and hands the graph to the walker so recursive helpers can
+    be cut off with bottom-up summaries instead of a blanket
+    approximation note.
+    """
     marker = f"{getattr(func, '__module__', '?')}.{getattr(func, '__qualname__', repr(func))}"
     skeleton = StaticSkeleton(source=marker)
     info = _info_for_callable(func)
     if info is None:
         skeleton.note("unresolved-task", "<root>", f"{marker}: source unavailable")
         return skeleton
-    builder = _AstSkeletonBuilder(skeleton, budget=budget)
+    graph = build_callgraph(info)
+    skeleton.callgraph_stats = graph.stats()
+    builder = _AstSkeletonBuilder(skeleton, budget=budget, graph=graph)
     try:
         builder.build_task(info, skeleton.root)
     except _BudgetExceeded:

@@ -377,6 +377,76 @@ class TestLint:
             main(["lint"])
 
 
+class TestLintFailOn:
+    def test_default_gate_is_error(self, target_module):
+        # ``clean`` carries SAV102 warnings (dynamic tuple index) but no
+        # errors: the default --fail-on error passes it.
+        assert main(["lint", f"{target_module}:clean"]) == 0
+        assert main(["lint", f"{target_module}:buggy"]) == 1
+
+    def test_warning_gate(self, target_module, capsys):
+        code = main(["lint", f"{target_module}:clean", "--fail-on", "warning"])
+        out = capsys.readouterr().out
+        assert "SAV102" in out
+        assert code == 1
+
+    def test_never_gate(self, target_module):
+        assert main(["lint", f"{target_module}:buggy", "--fail-on", "never"]) == 0
+
+
+class TestLintSarifFlag:
+    def test_writes_valid_log(self, target_module, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "lint.sarif"
+        code = main(["lint", f"{target_module}:buggy", "--sarif", str(out_path)])
+        assert code == 1
+        assert f"SARIF log written to {out_path}" in capsys.readouterr().out
+        log = json.loads(out_path.read_text())
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert any(r["ruleId"] == "SAV001" for r in run["results"])
+
+
+class TestLintBaselineFlag:
+    def test_update_then_compare(self, target_module, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        code = main(
+            ["lint", f"{target_module}:buggy", "--baseline", baseline,
+             "--update-baseline"]
+        )
+        assert code == 0
+        assert "updated" in capsys.readouterr().out
+        code = main(["lint", f"{target_module}:buggy", "--baseline", baseline])
+        out = capsys.readouterr().out
+        assert code == 0  # every finding is known: the gate passes
+        assert "0 new" in out
+
+    def test_new_findings_fail_the_gate(self, target_module, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        main(
+            ["lint", f"{target_module}:clean", "--baseline", baseline,
+             "--update-baseline"]
+        )
+        capsys.readouterr()
+        code = main(["lint", f"{target_module}:buggy", "--baseline", baseline])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "NEW SAV001" in out
+
+    def test_missing_baseline_is_an_error(self, target_module, tmp_path):
+        with pytest.raises(SystemExit, match="--update-baseline"):
+            main(
+                ["lint", f"{target_module}:buggy", "--baseline",
+                 str(tmp_path / "missing.json")]
+            )
+
+    def test_update_requires_baseline_path(self, target_module):
+        with pytest.raises(SystemExit, match="--update-baseline needs"):
+            main(["lint", f"{target_module}:buggy", "--update-baseline"])
+
+
 class TestStaticPrefilterFlag:
     def test_check_refusal_is_printed(self, target_module, capsys):
         # clean's tuple indices make the skeleton imprecise: the refusal

@@ -57,12 +57,33 @@ def test_clean_seeds_agree_across_the_matrix():
         assert "labels-engine" in outcome.verdicts
         assert "sharded-jobs2" in outcome.verdicts
         assert "prefilter" in outcome.verdicts
+        assert "prefilter-poisoned" in outcome.verdicts
         assert "replay" in outcome.verdicts
         assert "basic" in outcome.verdicts
         assert "paper-mode" in outcome.verdicts
         assert "schedule:random" in outcome.verdicts
         # Prefilter decisions are never silent.
         assert "prefilter" in outcome.notes
+        assert "proven=" in outcome.notes["prefilter"]
+        assert "poisoned=" in outcome.notes["prefilter"]
+
+
+def test_poisoned_prefilter_leg_filters_partially():
+    """The deliberately-poisoned leg must exercise *partial* filtering
+    somewhere: a location poisoned, the rest still proven and dropped --
+    while agreeing with the unfiltered legs on every seed."""
+    from repro.fuzz.oracle import exact_legs
+
+    assert "prefilter-poisoned" in exact_legs()
+    partial = 0
+    for seed in campaign_seeds(base_seed=1, runs=12):
+        spec = ProgramGenerator(FuzzConfig()).generate_spec(seed)
+        outcome = check_spec(spec, seed=seed, jobs=1, schedules=False)
+        assert outcome.ok, outcome.describe()
+        note = outcome.notes.get("prefilter-poisoned", "")
+        if "applied=True" in note and "poisoned=1" in note:
+            partial += 1
+    assert partial >= 1, "no seed exercised partial (poisoned) filtering"
 
 
 def test_oracle_catches_a_blind_checker():

@@ -64,6 +64,46 @@ def _dynamic_index(ctx):
     ctx.sync()
 
 
+def _shared_helper(ctx):
+    value = ctx.read("shared")
+    ctx.write("shared", value + 1)
+
+
+def _task_via_helper(ctx):
+    _shared_helper(ctx)
+
+
+def _interprocedural_serial(ctx):
+    ctx.write("shared", 0)
+    ctx.spawn(_task_via_helper)
+    ctx.sync()
+    ctx.read("shared")
+
+
+def _grid_sweeper(ctx):
+    for i in range(2):
+        ctx.write(("grid", i), 1)
+
+
+def _half_poisoned(ctx):
+    ctx.write("safe", 0)
+    ctx.write(("grid", 0), 0)
+    ctx.spawn(_grid_sweeper)
+    ctx.sync()
+    ctx.read(("grid", 0))
+    ctx.read("safe")
+
+
+def _suppressed_nonconstant(ctx):
+    for i in range(3):
+        ctx.write(("cell", i), i)  # repro: ignore[SAV102]
+
+
+def _blanket_suppressed(ctx):
+    for i in range(3):
+        ctx.write(("cell", i), i)  # repro: ignore
+
+
 # -- the lint pass -----------------------------------------------------------
 
 
@@ -151,6 +191,194 @@ class TestLintWorkloads:
             )
 
 
+# -- interprocedural exactness (ISSUE acceptance scenario 1) -----------------
+
+
+class TestInterprocedural:
+    def test_spawned_helper_analyzes_exactly(self):
+        """A spawned body calling a module-level helper: no SAV101."""
+        report = lint_function(_interprocedural_serial)
+        assert not any(d.code == "SAV101" for d in report.diagnostics), [
+            d.describe() for d in report.diagnostics
+        ]
+        assert report.prefilter_safe
+        assert report.prefilter_locations() == frozenset({"shared"})
+
+    def test_callgraph_stats_surface(self):
+        report = lint_function(_interprocedural_serial)
+        stats = report.callgraph_stats()
+        assert stats is not None
+        assert stats["functions"] >= 3  # root + task + helper
+        assert stats["unresolved_calls"] == 0
+        assert report.to_dict()["callgraph"] == stats
+        assert "call graph:" in report.describe()
+
+    def test_dynamic_equivalence_under_prefilter(self):
+        baseline = CheckSession(TaskProgram(_interprocedural_serial)).check()
+        session = CheckSession(TaskProgram(_interprocedural_serial))
+        filtered = session.check(static_prefilter=True)
+        assert set(filtered.locations()) == set(baseline.locations())
+        assert session.prefilter_info["applied"]
+
+
+# -- per-location poisoning (ISSUE acceptance scenario 2) --------------------
+
+
+class TestPerLocationPoisoning:
+    def test_untainted_location_still_proven(self):
+        """One imprecise location must not cost the proven-serial ones."""
+        report = lint_function(_half_poisoned)
+        assert not report.prefilter_safe  # skeleton as a whole is imprecise
+        assert "safe" in report.prefilter_locations()
+        assert ("grid", 0) in report.poisoned_locations
+        reasons = report.poisoned_locations[("grid", 0)]
+        assert any("imprecise access" in reason for reason in reasons)
+
+    def test_report_shapes_carry_the_split(self):
+        report = lint_function(_half_poisoned)
+        data = report.to_dict()
+        assert data["prefilter"]["proven"] == ["'safe'"]
+        assert list(data["prefilter"]["poisoned"]) == ["('grid', 0)"]
+        assert "poisoned location" in report.describe()
+
+    def test_partial_prefilter_applies_with_counters(self):
+        recorder = MetricsRecorder()
+        session = CheckSession(TaskProgram(_half_poisoned), recorder=recorder)
+        baseline = CheckSession(TaskProgram(_half_poisoned)).check()
+        filtered = session.check(static_prefilter=True)
+        assert set(filtered.locations()) == set(baseline.locations())
+        info = session.prefilter_info
+        assert info["applied"]
+        assert info["locations"] == ["'safe'"] or "safe" in str(info["locations"])
+        counters = recorder.snapshot().counters
+        assert counters["static.prefilter.proven"] == 1
+        assert counters["static.prefilter.poisoned"] == 1
+        assert counters["static.prefilter.dropped_events"] == 2  # W+R on "safe"
+
+
+# -- suppression comments ----------------------------------------------------
+
+
+class TestSuppressions:
+    def test_code_specific_suppression(self):
+        report = lint_function(_suppressed_nonconstant)
+        assert not any(d.code == "SAV102" for d in report.diagnostics)
+        assert [d.code for d in report.suppressed] == ["SAV102"]
+        assert report.to_dict()["counts"]["suppressed"] == 1
+        assert "[suppressed]" in report.describe()
+
+    def test_blanket_suppression(self):
+        report = lint_function(_blanket_suppressed)
+        assert not any(d.code == "SAV102" for d in report.diagnostics)
+        assert [d.code for d in report.suppressed] == ["SAV102"]
+
+    def test_suppression_does_not_unpoison(self):
+        """Silencing the diagnostic must not re-enable the prefilter:
+        suppression is about reporting, the imprecision still stands."""
+        report = lint_function(_suppressed_nonconstant)
+        assert not report.prefilter_safe
+        assert report.prefilter_locations() == frozenset()
+
+
+# -- SARIF export ------------------------------------------------------------
+
+
+class TestSarifExport:
+    def test_log_shape(self):
+        from repro.static import report_to_sarif
+
+        log = report_to_sarif(lint_function(_lost_update))
+        assert log["version"] == "2.1.0"
+        assert "sarif-schema" in log["$schema"] or "sarif" in log["$schema"]
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert set(RULES) == rule_ids
+        results = run["results"]
+        assert results
+        assert all(r["ruleId"] in rule_ids for r in results)
+        assert {r["level"] for r in results} <= {"error", "warning", "note"}
+
+    def test_results_carry_locations(self):
+        from repro.static import report_to_sarif
+
+        log = report_to_sarif(lint_function(_lost_update))
+        result = log["runs"][0]["results"][0]
+        locations = result["locations"]
+        assert locations
+        physical = locations[0].get("physicalLocation")
+        assert physical is None or "artifactLocation" in physical
+
+    def test_suppressed_results_marked_in_source(self):
+        from repro.static import report_to_sarif
+
+        log = report_to_sarif(lint_function(_suppressed_nonconstant))
+        marked = [
+            r for r in log["runs"][0]["results"] if r.get("suppressions")
+        ]
+        assert marked
+        assert marked[0]["suppressions"] == [{"kind": "inSource"}]
+
+    def test_one_run_per_report(self):
+        from repro.static import reports_to_sarif
+
+        log = reports_to_sarif(
+            [lint_function(_lost_update), lint_function(_serial_only)]
+        )
+        assert len(log["runs"]) == 2
+
+
+# -- baselines ---------------------------------------------------------------
+
+
+class TestBaseline:
+    def test_roundtrip_is_quiet(self, tmp_path):
+        from repro.static import compare_to_baseline, update_baseline
+
+        path = str(tmp_path / "baseline.json")
+        reports = [lint_function(_lost_update)]
+        data = update_baseline(reports, path)
+        assert data["schema"] == "repro-lint-baseline/1"
+        assert data["findings"]
+        new, stale = compare_to_baseline(reports, path)
+        assert not new and not stale
+
+    def test_new_findings_detected(self, tmp_path):
+        from repro.static import compare_to_baseline, update_baseline
+
+        path = str(tmp_path / "baseline.json")
+        update_baseline([lint_function(_serial_only)], path)  # no findings
+        new, _ = compare_to_baseline([lint_function(_lost_update)], path)
+        assert new
+        assert all(d.code == "SAV001" for _, d in new)
+
+    def test_update_merges_per_target(self, tmp_path):
+        from repro.static import compare_to_baseline, update_baseline
+
+        path = str(tmp_path / "baseline.json")
+        update_baseline([lint_function(_lost_update)], path)
+        update_baseline([lint_function(_dynamic_index)], path)
+        new, stale = compare_to_baseline([lint_function(_lost_update)], path)
+        assert not new and not stale
+
+    def test_fixed_findings_reported_stale(self, tmp_path):
+        from repro.static import compare_to_baseline, update_baseline
+
+        path = str(tmp_path / "baseline.json")
+        report = lint_function(_lost_update)
+        update_baseline([report], path)
+        clean = lint_function(_locked_update, target=report.target)
+        new, stale = compare_to_baseline([clean], path)
+        assert not new
+        assert stale  # the SAV001 entries no longer match anything
+
+    def test_missing_baseline_is_actionable(self, tmp_path):
+        from repro.static import BaselineError, compare_to_baseline
+
+        with pytest.raises(BaselineError, match="--update-baseline"):
+            compare_to_baseline([], str(tmp_path / "missing.json"))
+
+
 # -- CheckSession integration ------------------------------------------------
 
 
@@ -177,6 +405,17 @@ class TestSessionLint:
         assert counters["static.lint.errors"] >= 1
         assert counters["static.lint.candidates"] >= 1
 
+    def test_callgraph_counters_recorded(self):
+        recorder = MetricsRecorder()
+        session = CheckSession(
+            TaskProgram(_interprocedural_serial), recorder=recorder
+        )
+        session.lint()
+        counters = recorder.snapshot().counters
+        assert counters["static.callgraph.functions"] >= 3
+        assert counters["static.callgraph.sccs"] >= 3
+        assert counters.get("static.callgraph.unresolved_calls", 0) == 0
+
 
 class TestPrefilter:
     def test_applied_on_serial_program(self):
@@ -197,7 +436,7 @@ class TestPrefilter:
         session.check(static_prefilter=True)
         info = session.prefilter_info
         assert not info["applied"]
-        assert "not exact" in info["reason"]
+        assert "no locations proven" in info["reason"]
         assert recorder.snapshot().counters["static.prefilter.disabled"] == 1
 
     def test_refused_under_grouped_annotations(self):

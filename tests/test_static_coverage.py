@@ -1,0 +1,101 @@
+"""Coverage-report corners and the imprecision diagnostic paths.
+
+Complements ``tests/test_static.py``: reserved template scratch
+locations, unresolved-task plumbing, ``suspect_locations`` filtering,
+and the ``SAV102``/``SAV105`` diagnostics together with their
+per-location prefilter consequences (lock notes never poison; a
+non-constant location leaves the *other* locations provable).
+"""
+
+from repro.runtime import TaskProgram, parallel_reduce, run_program
+from repro.static import analyze_function, check_trace_coverage, lint_function
+from repro.static.accesses import EXACT, PREFIX
+from repro.static.diagnostics import INFO, WARNING
+
+
+def _trace_of(body):
+    return run_program(TaskProgram(body), record_trace=True).trace
+
+
+# -- module-level bodies ------------------------------------------------------
+
+
+def _reducer(ctx):
+    ctx.write("total", parallel_reduce(ctx, 0, 4, _read_cell, lambda a, b: a + b, 0))
+
+
+def _read_cell(ctx, i):
+    return ctx.read("cells")
+
+
+def _spawns_parameter(ctx, body):
+    ctx.spawn(body)
+    ctx.sync()
+
+
+def _branchy(ctx):
+    ctx.write("flag", 0)
+    if ctx.read("flag"):
+        ctx.write("rare", 1)
+        for i in range(2):
+            ctx.write(("arr", i), 1)
+
+
+def _dynamic_lock(ctx, suffix="a"):
+    with ctx.lock("L" + suffix):
+        ctx.write("d", 1)
+
+
+def _computed_cell(ctx):
+    for i in range(3):
+        ctx.write(("cell", i), i)
+    ctx.write("ok", 0)
+
+
+class TestCoverageCorners:
+    def test_reserved_scratch_locations_ignored(self):
+        """``__reduce__`` plumbing in the trace is not "unpredicted"."""
+        trace = _trace_of(_reducer)
+        assert any(
+            isinstance(e.location, tuple) and e.location[0] == "__reduce__"
+            for e in trace.memory_events()
+        )
+        report = check_trace_coverage(analyze_function(_reducer), trace)
+        assert not report.unpredicted, report.describe()
+
+    def test_unresolved_tasks_void_the_guarantee(self):
+        static = analyze_function(_spawns_parameter)
+        report = check_trace_coverage(static, _trace_of(_branchy))
+        assert report.unresolved_tasks
+        assert not report.complete
+        assert "UNRESOLVED TASKS" in report.describe()
+
+    def test_suspect_locations_only_from_exact_missing(self):
+        report = check_trace_coverage(analyze_function(_branchy), _trace_of(_branchy))
+        missing_kinds = {p.kind for p in report.missing}
+        assert missing_kinds == {EXACT, PREFIX}  # "rare" + ("arr", *)
+        assert report.suspect_locations == {"rare"}
+
+
+class TestImprecisionDiagnostics:
+    def test_dynamic_lock_name_is_info_and_never_poisons(self):
+        report = lint_function(_dynamic_lock)
+        sav105 = [d for d in report.diagnostics if d.code == "SAV105"]
+        assert sav105 and sav105[0].severity == INFO
+        assert "not a compile-time constant" in sav105[0].message
+        # Soundness of the prefilter never rests on locksets, so the
+        # dynamic lock name must not cost any proven-serial location.
+        assert "d" in report.prefilter_locations()
+        assert not report.poisoned_locations
+
+    def test_nonconstant_location_warns_but_stays_per_location(self):
+        report = lint_function(_computed_cell)
+        sav102 = [d for d in report.diagnostics if d.code == "SAV102"]
+        assert sav102 and sav102[0].severity == WARNING
+        assert "prefix" in sav102[0].message
+        # The old global boolean would have dropped everything here; the
+        # per-location proof keeps the untainted exact location.
+        assert not report.prefilter_safe
+        assert "ok" in report.prefilter_locations()
+        # Non-exact groups appear in neither the serial nor poisoned set.
+        assert not report.poisoned_locations
