@@ -195,6 +195,24 @@ def _print_prefilter(session, recorder) -> None:
         print(f"  poisoned {location}: {'; '.join(reasons)}")
 
 
+def _print_cache(session) -> None:
+    """Render the outcome of a ``--cache-dir`` request.
+
+    Bypassing is never silent, mirroring :func:`_print_prefilter`.  Every
+    line carries the stable ``result cache:`` prefix so report output can
+    be compared across runs with the cache lines filtered out.
+    """
+    info = session.cache_info
+    if info is None:
+        return
+    if not info["applied"]:
+        print(f"result cache: bypassed -- {info['reason']}")
+    elif info["hit"]:
+        print(f"result cache: hit {info['key'][:12]}")
+    else:
+        print(f"result cache: miss {info['key'][:12]} (stored)")
+
+
 def _check_with_prefilter(body, args: argparse.Namespace, recorder) -> int:
     """The ``check --static-prefilter`` path, routed through CheckSession."""
     from repro.obs import MetricsRecorder
@@ -259,18 +277,49 @@ def cmd_suite(args: argparse.Namespace) -> int:
     from repro.bench.reporting import render_table
     from repro.suite import all_cases
 
+    engine = getattr(args, "engine", "lca")
+    cache_dir = getattr(args, "cache_dir", None)
+    cache_hits = cache_misses = cache_bypasses = 0
     rows: List[List[str]] = []
     mismatches = 0
     for case in all_cases():
         if args.category and case.category != args.category:
             continue
-        checker = make_checker(args.checker)
-        result = run_program(
-            case.build(),
-            observers=[checker],
-            parallel_engine=getattr(args, "engine", "lca"),
-        )
-        found = set(result.report().locations())
+        if cache_dir:
+            # Record-then-check so the run is content-addressable: the
+            # deterministic executor replays each case to the same trace,
+            # making a repeated suite run a pure hash lookup.  The
+            # program's own annotations ride along; non-trivial ones
+            # bypass the cache (counted below) rather than mis-keying.
+            from repro.session import CheckSession
+
+            program = case.build()
+            result = run_program(
+                program, record_trace=True, parallel_engine=engine
+            )
+            session = CheckSession(
+                result.trace,
+                checker=args.checker,
+                engine=engine,
+                annotations=program.annotations,
+            )
+            report = session.check(cache_dir=cache_dir)
+            found = set(report.locations())
+            info = session.cache_info or {}
+            if info.get("hit"):
+                cache_hits += 1
+            elif info.get("applied"):
+                cache_misses += 1
+            else:
+                cache_bypasses += 1
+        else:
+            checker = make_checker(args.checker)
+            result = run_program(
+                case.build(),
+                observers=[checker],
+                parallel_engine=engine,
+            )
+            found = set(result.report().locations())
         ok = found == set(case.expected)
         mismatches += 0 if ok else 1
         rows.append(
@@ -290,6 +339,11 @@ def cmd_suite(args: argparse.Namespace) -> int:
         )
     )
     print(f"\n{len(rows)} case(s), {mismatches} mismatch(es)")
+    if cache_dir:
+        print(
+            f"result cache: {cache_hits} hit(s), {cache_misses} miss(es), "
+            f"{cache_bypasses} bypassed"
+        )
     return 1 if mismatches else 0
 
 
@@ -384,6 +438,7 @@ def cmd_check_trace(args: argparse.Namespace) -> int:
         max_retries=args.retries,
         shard_timeout=args.shard_timeout,
         start_method=args.start_method,
+        cache_dir=args.cache_dir,
     )
     print(report.describe())
     skipped = session.lines_skipped
@@ -399,6 +454,7 @@ def cmd_check_trace(args: argparse.Namespace) -> int:
             "the verdict covers the decodable events only"
         )
     _print_prefilter(session, recorder)
+    _print_cache(session)
     _dump_metrics(recorder if getattr(args, "metrics", None) else None, args)
     return 1 if report else 0
 
@@ -728,6 +784,11 @@ def build_parser() -> argparse.ArgumentParser:
     suite = commands.add_parser("suite", help="run the 36-program violation suite")
     suite.add_argument("--category", help="restrict to one category")
     suite.add_argument("--checker", choices=CHECKER_NAMES, default="optimized")
+    suite.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="content-addressed result cache: record each case's trace "
+        "and serve repeat checks as hash lookups",
+    )
     _add_engine_option(suite)
     suite.set_defaults(handler=cmd_suite)
 
@@ -745,8 +806,10 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument("program")
     record.add_argument("-o", "--output", required=True)
     record.add_argument(
-        "--format", choices=("auto", "json", "jsonl"), default="auto",
-        help="serialization format; auto picks JSONL for .jsonl/.ndjson paths",
+        "--format", choices=("auto", "json", "jsonl", "columnar"),
+        default="auto",
+        help="serialization format; auto picks JSONL for .jsonl/.ndjson "
+        "paths and binary columnar (v3) for .trc/.v3 paths",
     )
     _add_run_options(record)
     record.set_defaults(handler=cmd_record)
@@ -760,7 +823,9 @@ def build_parser() -> argparse.ArgumentParser:
         "check-trace",
         help="check a recorded trace file, optionally sharded over N processes",
     )
-    check_trace.add_argument("trace", help="trace file (JSON or JSONL)")
+    check_trace.add_argument(
+        "trace", help="trace file (JSON, JSONL, or columnar .trc)"
+    )
     check_trace.add_argument(
         "--checker", choices=CHECKER_NAMES, default="optimized",
         help="analysis to run (default: optimized)",
@@ -815,6 +880,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="multiprocessing start method for workers (default: fork "
         "where available)",
+    )
+    check_trace.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="content-addressed result cache: serve this check as a hash "
+        "lookup when the same trace/checker/engine was seen before "
+        "(bypasses are printed, never silent)",
     )
     _add_engine_option(check_trace)
     check_trace.set_defaults(handler=cmd_check_trace)

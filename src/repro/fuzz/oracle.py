@@ -25,6 +25,13 @@ leg                  configuration
                      only -- partial filtering soundness, machine-checked
                      on every program
 ``replay``           JSONL record -> replay round-trip of the trace
+``columnar``         binary columnar (v3) record -> replay round-trip --
+                     the machine check that v2 and v3 serialization
+                     produce identical reports
+``cached``           the content-addressed result cache: the trace is
+                     checked twice through one cache directory; the
+                     second check must be a *hit* and the served report
+                     must equal both the fresh result and the reference
 ``basic``            the paper's Figure 3 reference checker
 ``paper-mode``       optimized checker in published-pseudocode mode
 ``schedule:*``       fresh executions under other schedules
@@ -82,7 +89,14 @@ def exact_legs(reference: str = "lca") -> Tuple[str, ...]:
     engines = tuple(
         f"{name}-engine" for name in available_engines() if name != reference
     )
-    return engines + ("sharded-jobs4", "prefilter", "prefilter-poisoned", "replay")
+    return engines + (
+        "sharded-jobs4",
+        "prefilter",
+        "prefilter-poisoned",
+        "replay",
+        "columnar",
+        "cached",
+    )
 
 
 #: Leg names compared triple-for-triple against the default reference
@@ -249,6 +263,8 @@ def check_spec(
     exact("prefilter", _prefilter_leg(session, spec, outcome))
     exact("prefilter-poisoned", _poisoned_prefilter_leg(session, spec, outcome))
     exact("replay", _replay_roundtrip_leg(trace))
+    exact("columnar", _columnar_roundtrip_leg(trace))
+    exact("cached", _cached_check_leg(trace, spec, seed, outcome))
 
     # -- cross-checker legs ----------------------------------------------
     by_locations("basic", session.check("basic"))
@@ -370,6 +386,75 @@ def _replay_roundtrip_leg(trace: Any) -> ViolationReport:
         return CheckSession(path, checker="optimized", jobs=1).check(mode="thorough")
     finally:
         os.unlink(path)
+
+
+def _columnar_roundtrip_leg(trace: Any) -> ViolationReport:
+    """Record the trace to binary columnar v3, read it back, re-check."""
+    handle, path = tempfile.mkstemp(suffix=".trc", prefix="repro-fuzz-")
+    os.close(handle)
+    try:
+        dump_trace(trace, path, format="columnar")
+        return CheckSession(path, checker="optimized", jobs=1).check(mode="thorough")
+    finally:
+        os.unlink(path)
+
+
+def _cached_check_leg(
+    trace: Any, spec: Spec, seed: Optional[int], outcome: OracleOutcome
+) -> ViolationReport:
+    """Check the serialized trace twice through one result cache.
+
+    The second check must be served from the cache, and the served report
+    must equal the freshly computed one; the returned (served) report is
+    then exact-compared against the reference like any other leg.  A miss
+    where a hit was due is itself a disagreement -- a silently dead cache
+    would otherwise pass every equivalence check.
+    """
+    import shutil
+
+    handle, path = tempfile.mkstemp(suffix=".trc", prefix="repro-fuzz-")
+    os.close(handle)
+    cache_dir = tempfile.mkdtemp(prefix="repro-fuzz-cache-")
+    try:
+        dump_trace(trace, path, format="columnar")
+        fresh = CheckSession(path, checker="optimized", jobs=1).check(
+            mode="thorough", cache_dir=cache_dir
+        )
+        second_session = CheckSession(path, checker="optimized", jobs=1)
+        served = second_session.check(mode="thorough", cache_dir=cache_dir)
+        info = second_session.cache_info or {}
+        outcome.notes["cached"] = (
+            f"applied={info.get('applied')} hit={info.get('hit')} "
+            f"reason={info.get('reason', '')!r}"
+        )
+        if not info.get("hit"):
+            outcome.disagreements.append(
+                Disagreement(
+                    seed,
+                    "cached-fresh",
+                    "cached",
+                    "cache-hit",
+                    True,
+                    bool(info.get("hit")),
+                    spec,
+                )
+            )
+        if normalize_report(served) != normalize_report(fresh):
+            outcome.disagreements.append(
+                Disagreement(
+                    seed,
+                    "cached-fresh",
+                    "cached",
+                    "triples",
+                    normalize_report(fresh),
+                    normalize_report(served),
+                    spec,
+                )
+            )
+        return served
+    finally:
+        os.unlink(path)
+        shutil.rmtree(cache_dir, ignore_errors=True)
 
 
 def _jsonable(value: Any) -> Any:

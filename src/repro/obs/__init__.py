@@ -168,6 +168,11 @@ METRIC_NAMES: Dict[str, str] = {
     "static.prefilter.events_skipped": "memory events dropped by the static prefilter",
     "static.prefilter.dropped_events": "memory events dropped by the per-location static prefilter",
     "static.prefilter.disabled": "prefilter requests refused (no provable locations or non-trivial annotations)",
+    # content-addressed result cache (repro.cache / CheckSession cache_dir=)
+    "cache.hit": "checks served from the content-addressed result cache",
+    "cache.miss": "checks computed fresh and stored into the result cache",
+    "cache.bytes": "bytes moved through the result cache (stored on miss, read on hit)",
+    "cache.bypass": "cache requests refused (uncacheable checker/prefilter/annotations)",
     # differential fuzzing (repro fuzz / repro.fuzz)
     "fuzz.runs": "programs pushed through the differential oracle",
     "fuzz.comparisons": "oracle legs compared against the reference verdict",

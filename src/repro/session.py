@@ -123,7 +123,12 @@ class CheckSession:
         #: :meth:`check`): ``{"requested", "applied", "locations",
         #: "reason"}`` -- the CLI renders this so skips are never silent.
         self.prefilter_info: Optional[Dict[str, Any]] = None
+        #: Outcome of the last ``cache_dir=`` request (see :meth:`check`):
+        #: ``{"requested", "applied", "hit", "key", "reason"}`` -- like
+        #: :attr:`prefilter_info`, a bypassed cache is never silent.
+        self.cache_info: Optional[Dict[str, Any]] = None
         self._lint_report = None
+        self._source_digest_memo: Optional[str] = None
 
         self._program: Optional[TaskProgram] = None
         self._trace: Optional[Trace] = None
@@ -217,6 +222,7 @@ class CheckSession:
         max_retries: int = 2,
         shard_timeout: Optional[float] = None,
         start_method: Optional[str] = None,
+        cache_dir: Optional[str] = None,
         **checker_kwargs: Any,
     ) -> ViolationReport:
         """Run one checker over the source; return (and remember) its report.
@@ -248,12 +254,34 @@ class CheckSession:
         supervision of the sharded pipeline -- all forwarded to
         :func:`repro.checker.sharded.check_sharded` (a ``jobs=1``
         check honors checkpoints too, treating the run as one shard).
+
+        ``cache_dir`` enables the content-addressed result cache
+        (:mod:`repro.cache`): the check becomes a hash lookup when the
+        same trace was already checked under the same checker/engine
+        configuration, and both hits and fresh results are served in
+        canonical (jobs-insensitive) violation order.  The cache is
+        bypassed -- with the reason recorded in :attr:`cache_info`,
+        never silently -- for class/instance checker specs, static
+        prefilter requests, and non-trivial annotations, since those
+        carry state the key cannot see.
         """
         spec = self.checker if checker is None else checker
-        if checker_kwargs:
-            spec = make_checker(spec, **checker_kwargs)
         jobs = self.jobs if jobs is None else jobs
         engine = self.engine if engine is None else engine
+        cache_state = self._resolve_cache(
+            cache_dir, spec, checker_kwargs, engine, static_prefilter
+        )
+        if checker_kwargs:
+            spec = make_checker(spec, **checker_kwargs)
+        if cache_state is not None:
+            entry = cache_state["cache"].load(cache_state["key"])
+            if entry is not None:
+                cache_state["info"]["hit"] = True
+                if self.recorder.enabled:
+                    self.recorder.count("cache.hit")
+                    self.recorder.count("cache.bytes", entry.nbytes)
+                self.reports[checker_name_of(spec)] = entry.report
+                return entry.report
         skip = self._resolve_prefilter(static_prefilter)
         fault_options = dict(
             checkpoint_dir=checkpoint_dir,
@@ -272,8 +300,98 @@ class CheckSession:
                 report = self._dispatch(spec, jobs, engine, skip, fault_options)
         else:
             report = self._dispatch(spec, jobs, engine, skip, fault_options)
+        if cache_state is not None:
+            from repro.cache import normalized_report_copy
+
+            report = normalized_report_copy(report)
+            nbytes = cache_state["cache"].store(
+                cache_state["key"], report, meta=cache_state["meta"]
+            )
+            if self.recorder.enabled:
+                self.recorder.count("cache.miss")
+                self.recorder.count("cache.bytes", nbytes)
         self.reports[checker_name_of(spec)] = report
         return report
+
+    def _source_digest(self) -> str:
+        """Content digest of the source, memoized for the session."""
+        from repro.cache import file_digest, trace_digest
+
+        if self._source_digest_memo is None:
+            if self._reader is not None and self._trace is None:
+                self._source_digest_memo = "file:" + file_digest(
+                    self._reader.path
+                )
+            else:
+                self._source_digest_memo = "trace:" + trace_digest(self.trace)
+        return self._source_digest_memo
+
+    def _resolve_cache(
+        self,
+        cache_dir: Optional[str],
+        spec: CheckerSpec,
+        checker_kwargs: Dict[str, Any],
+        engine: str,
+        static_prefilter: Any,
+    ) -> Optional[Dict[str, Any]]:
+        """Turn a ``cache_dir=`` request into a ready cache lookup.
+
+        Mirrors :meth:`_resolve_prefilter`: the decision (and any reason
+        for bypassing) lands in :attr:`cache_info`, never silently.
+        """
+        if cache_dir is None:
+            return None
+        from repro.cache import (
+            ResultCache,
+            checker_cache_token,
+            result_cache_key,
+        )
+
+        info: Dict[str, Any] = {
+            "requested": True,
+            "applied": False,
+            "hit": False,
+            "key": None,
+            "reason": "",
+        }
+        self.cache_info = info
+        token = checker_cache_token(spec, checker_kwargs)
+        if token is None:
+            info["reason"] = (
+                "checker spec is not content-addressable (pass a "
+                "registered name, not a class or instance, with "
+                "JSON-safe kwargs)"
+            )
+        elif static_prefilter not in (False, None):
+            info["reason"] = (
+                "static prefilter requests carry program text the "
+                "cache key cannot see"
+            )
+        elif self.annotations is not None and not self.annotations.trivial:
+            info["reason"] = (
+                "non-trivial atomicity annotations are not part of "
+                "the cache key"
+            )
+        if info["reason"]:
+            if self.recorder.enabled:
+                self.recorder.count("cache.bypass")
+            return None
+        digest = self._source_digest()
+        key = result_cache_key(digest, token, engine, False, self.strict)
+        info["applied"] = True
+        info["key"] = key
+        info["reason"] = "content-addressed lookup enabled"
+        return {
+            "cache": ResultCache(cache_dir),
+            "key": key,
+            "info": info,
+            "meta": {
+                "trace": digest,
+                "checker": token,
+                "engine": engine,
+                "strict": bool(self.strict),
+            },
+        }
 
     def _dispatch(
         self,

@@ -31,6 +31,12 @@ from repro.trace.serialize import (
     load_trace,
     open_trace,
 )
+from repro.trace.columnar import (
+    ColumnarTraceReader,
+    ColumnarTraceWriter,
+    dump_trace_columnar,
+    is_columnar_trace,
+)
 from repro.trace.visualize import (
     render_step_table,
     render_timeline,
@@ -48,8 +54,12 @@ __all__ = [
     "explore_violation_locations",
     "TraceReader",
     "TraceWriter",
+    "ColumnarTraceReader",
+    "ColumnarTraceWriter",
     "dump_trace",
     "dump_trace_jsonl",
+    "dump_trace_columnar",
+    "is_columnar_trace",
     "load_trace",
     "open_trace",
     "render_step_table",

@@ -6,21 +6,28 @@ archive as regression goldens.  This module round-trips a
 :class:`~repro.trace.trace.Trace` *including its DPST* through plain
 JSON-compatible dictionaries.
 
-Two on-disk formats are supported:
+Three on-disk formats are supported:
 
 * **v1 (monolithic JSON)** -- one JSON object holding every event, written
   by :func:`dump_trace` with ``format="json"``.  Simple, but the whole
   trace must fit in memory to read or write it.
-* **v2 (streaming JSONL)** -- the offline pipeline's format: a one-line
-  header ``{"format": "repro-trace", "version": 2, "dpst": ...}`` followed
+* **v2 (streaming JSONL)** -- a one-line header
+  ``{"format": "repro-trace", "version": 2, "dpst": ...}`` followed
   by one event per line.  :class:`TraceWriter` appends events with bounded
   buffering and :class:`TraceReader` yields them as a generator, so traces
   larger than RAM can be produced and checked.  The DPST lives in the
   header because every checker needs the *complete* tree before the first
   event is replayed.
+* **v3 (binary columnar)** -- struct-packed parallel arrays per event
+  field with interned location/lock tables and optional zlib frames; the
+  sharded pipeline's fast path.  See :mod:`repro.trace.columnar`.
+  :class:`TraceReader` transparently wraps v3 files, so downstream code
+  is format-agnostic.
 
 :func:`load_trace` / :func:`open_trace` sniff the format, so callers never
-care which variant a file uses.
+care which variant a file uses: v3 is detected by a magic byte prefix and
+v2 by *parsing* the first line's JSON (never by matching an exact byte
+rendering, which would break on compact separators or reordered keys).
 
 Location encoding: locations are hashable Python values (strings, ints,
 or tuples thereof).  JSON has no tuples, so locations are wrapped as
@@ -196,6 +203,11 @@ class TraceWriter:
     The DPST must be supplied up front (it sits in the header so readers
     can rebuild the tree before streaming any event); pass ``None`` for
     DPST-free traces.
+
+    Crash safety: all bytes go to a temporary sibling of :attr:`path`;
+    :meth:`close` publishes the finished file with :func:`os.replace`.  A
+    write that dies mid-stream (or exits a ``with`` block on an exception,
+    which calls :meth:`discard`) never leaves a half-trace at the target.
     """
 
     def __init__(
@@ -211,15 +223,20 @@ class TraceWriter:
         #: Number of events written so far.
         self.count = 0
         self._buffer: List[str] = []
-        self._handle: Optional[io.TextIOWrapper] = open(
-            self.path, "w", encoding="utf-8"
+        # The header is rendered *before* any file is opened: a DPST that
+        # fails to flatten raises with nothing on disk and no open handle.
+        header = json.dumps(
+            {
+                "format": JSONL_FORMAT,
+                "version": JSONL_VERSION,
+                "dpst": None if dpst is None else dpst_to_dict(dpst),
+            }
         )
-        header = {
-            "format": JSONL_FORMAT,
-            "version": JSONL_VERSION,
-            "dpst": None if dpst is None else dpst_to_dict(dpst),
-        }
-        self._handle.write(json.dumps(header) + "\n")
+        self._tmp_path: Optional[str] = f"{self.path}.tmp.{os.getpid()}"
+        self._handle: Optional[io.TextIOWrapper] = open(
+            self._tmp_path, "w", encoding="utf-8"
+        )
+        self._handle.write(header + "\n")
 
     def write(self, event: object) -> None:
         """Append one event."""
@@ -246,17 +263,40 @@ class TraceWriter:
             self._buffer = []
 
     def close(self) -> None:
-        """Flush buffered events and close the file (idempotent)."""
+        """Flush buffered events and publish the file (idempotent).
+
+        Publication is atomic: the temporary sibling moves to
+        :attr:`path` via :func:`os.replace`, so readers only ever see a
+        complete trace or no trace at all.
+        """
         if self._handle is not None:
             self._flush()
             self._handle.close()
             self._handle = None
+            os.replace(self._tmp_path, self.path)
+            self._tmp_path = None
+
+    def discard(self) -> None:
+        """Abandon the write: delete the temporary file without touching
+        :attr:`path` (idempotent; a no-op after :meth:`close`)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        if self._tmp_path is not None:
+            try:
+                os.unlink(self._tmp_path)
+            except OSError:
+                pass
+            self._tmp_path = None
 
     def __enter__(self) -> "TraceWriter":
         return self
 
-    def __exit__(self, *exc_info: Any) -> None:
-        self.close()
+    def __exit__(self, exc_type: Any, *exc_info: Any) -> None:
+        if exc_type is not None:
+            self.discard()
+        else:
+            self.close()
 
 
 #: Sentinel yielded internally for lines the lenient reader skipped.
@@ -264,13 +304,15 @@ _SKIPPED = object()
 
 
 class TraceReader:
-    """Streaming reader over a serialized trace file (v1 or v2).
+    """Streaming reader over a serialized trace file (v1, v2, or v3).
 
-    Construction parses only the header (v2) or the whole file (v1 has no
-    incremental structure); :meth:`events` then yields decoded events as a
-    generator.  Each call to :meth:`events` opens a fresh handle, so a
-    reader supports any number of passes -- exactly what the sharded
-    pipeline's workers need when each filters out its own shard.
+    Construction parses only the header (v2), the header + footer tables
+    (v3, which it wraps transparently via
+    :class:`repro.trace.columnar.ColumnarTraceReader`), or the whole file
+    (v1 has no incremental structure); :meth:`events` then yields decoded
+    events as a generator.  Each call to :meth:`events` opens a fresh
+    handle, so a reader supports any number of passes -- exactly what the
+    sharded pipeline's workers need when each filters out its own shard.
 
     Lifecycle: the reader tracks every handle its streaming passes open,
     and :meth:`close` (or use as a context manager) closes any that an
@@ -291,14 +333,27 @@ class TraceReader:
         self.path = os.fspath(path)
         #: ``False`` skips (and counts) undecodable event lines.
         self.strict = bool(strict)
-        #: Undecodable lines skipped so far (cumulative across passes).
-        self.lines_skipped = 0
+        self._lines_skipped = 0
         self._closed = False
         self._live_handles: set = set()
         self._v1_trace: Optional[Trace] = None
-        if is_jsonl_trace(self.path):
+        self._v3 = None
+        # Imported lazily: columnar.py builds on this module's primitives.
+        from repro.trace.columnar import ColumnarTraceReader, is_columnar_trace
+
+        if is_columnar_trace(self.path):
+            self._v3 = ColumnarTraceReader(self.path, strict=self.strict)
+            self.version = self._v3.version
+            self.dpst: Optional[DPSTBase] = self._v3.dpst
+        elif is_jsonl_trace(self.path):
             with open(self.path, "r", encoding="utf-8") as handle:
-                header = json.loads(handle.readline())
+                first = handle.readline()
+            try:
+                header = json.loads(first)
+            except ValueError as exc:
+                raise TraceError(
+                    f"cannot parse trace header of {self.path!r}: {exc}"
+                ) from exc
             version = header.get("version")
             if header.get("format") != JSONL_FORMAT or version != JSONL_VERSION:
                 raise TraceError(
@@ -306,15 +361,31 @@ class TraceReader:
                 )
             self.version = version
             raw_dpst = header.get("dpst")
-            self.dpst: Optional[DPSTBase] = (
-                None if raw_dpst is None else dpst_from_dict(raw_dpst)
-            )
+            self.dpst = None if raw_dpst is None else dpst_from_dict(raw_dpst)
         else:
-            # v1 fallback: monolithic JSON, decoded eagerly.
-            with open(self.path, "r", encoding="utf-8") as handle:
-                self._v1_trace = trace_from_dict(json.load(handle))
+            # v1 fallback: monolithic JSON, decoded eagerly.  Anything that
+            # is not JSON at all (empty file, truncated header, binary
+            # garbage) lands here too, so decode failures surface as
+            # TraceError with the path -- not a bare json.JSONDecodeError.
+            try:
+                with open(self.path, "r", encoding="utf-8") as handle:
+                    data = json.load(handle)
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise TraceError(
+                    f"cannot parse {self.path!r} as a trace: not a v1 JSON, "
+                    f"v2 JSONL, or v3 columnar trace file ({exc})"
+                ) from exc
+            self._v1_trace = trace_from_dict(data)
             self.version = 1
             self.dpst = self._v1_trace.dpst
+
+    @property
+    def lines_skipped(self) -> int:
+        """Undecodable lines (v2) or frame events (v3) skipped so far,
+        cumulative across passes (lenient mode only)."""
+        if self._v3 is not None:
+            return self._v3.lines_skipped
+        return self._lines_skipped
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -347,6 +418,8 @@ class TraceReader:
         them deterministically.  Further passes raise :class:`TraceError`.
         """
         self._closed = True
+        if self._v3 is not None:
+            self._v3.close()
         for handle in list(self._live_handles):
             self._release(handle)
 
@@ -370,13 +443,16 @@ class TraceReader:
         try:
             return event_from_dict(json.loads(line))
         except (ValueError, TypeError, KeyError, TraceError):
-            self.lines_skipped += 1
+            self._lines_skipped += 1
             return _SKIPPED
 
     def events(self) -> Iterator[object]:
         """Yield every event in file order (a fresh pass per call)."""
         if self._closed:
             raise TraceError(f"TraceReader for {self.path!r} is closed")
+        if self._v3 is not None:
+            yield from self._v3.events()
+            return
         if self._v1_trace is not None:
             yield from self._v1_trace.events
             return
@@ -408,8 +484,15 @@ class TraceReader:
         this is what lets N streaming workers split the parse cost of one
         file instead of each paying it in full.  Lines without a stamp
         (v1 files, externally produced v2 files) fall back to decode-then-
-        filter, so the result is identical either way.
+        filter, so the result is identical either way.  On v3 files the
+        filter runs over the columnar frames directly (see
+        :meth:`repro.trace.columnar.ColumnarTraceReader.memory_events`).
         """
+        if self._v3 is not None:
+            if self._closed:
+                raise TraceError(f"TraceReader for {self.path!r} is closed")
+            yield from self._v3.memory_events(shard=shard, jobs=jobs)
+            return
         if shard is None or jobs is None or jobs <= 1:
             for event in self.events():
                 if isinstance(event, MemoryEvent):
@@ -452,6 +535,8 @@ class TraceReader:
 
     def read(self) -> Trace:
         """Materialize the full :class:`Trace` (events + DPST) in memory."""
+        if self._v3 is not None:
+            return self._v3.read()
         if self._v1_trace is not None:
             return self._v1_trace
         return Trace(list(self.events()), dpst=self.dpst)
@@ -460,16 +545,54 @@ class TraceReader:
         return f"<TraceReader {self.path!r} v{self.version}>"
 
 
-def is_jsonl_trace(path: str) -> bool:
-    """Does *path* hold a v2 JSONL trace (vs. a v1 monolithic JSON one)?
+#: Sniff window for format detection: enough for any realistic first line
+#: short of a header whose DPST alone tops a mebibyte.
+_SNIFF_BYTES = 1 << 20
 
-    Sniffs the first bytes for the v2 header signature, so detection works
-    regardless of file extension and never reads a multi-GB v1 file just
-    to decide.
+#: Prefix fallback for first lines larger than the sniff window.  Only our
+#: own writer produces such headers, and it always leads with the format
+#: key; tolerating arbitrary whitespace keeps compact separators working.
+_HEADER_PREFIX = re.compile(
+    rb'\{\s*"format"\s*:\s*"' + re.escape(JSONL_FORMAT.encode()) + rb'"'
+)
+
+
+def is_jsonl_trace(path: str) -> bool:
+    """Does *path* hold a v2 JSONL trace (vs. v1 monolithic / v3 columnar)?
+
+    Decides by *parsing* the first line's JSON (bounded read) and checking
+    its ``format`` field -- never by matching an exact byte rendering, so
+    v2 files written with compact separators, reordered keys, or extra
+    whitespace are all recognized.  Detection works regardless of file
+    extension and never reads a multi-GB v1 file just to decide.
     """
-    with open(path, "rb") as handle:
-        head = handle.read(64)
-    return head.lstrip().startswith(b'{"format": "%s"' % JSONL_FORMAT.encode())
+    from repro.trace.columnar import COLUMNAR_MAGIC
+
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(_SNIFF_BYTES)
+    except OSError:
+        return False
+    if head.startswith(COLUMNAR_MAGIC):
+        return False
+    stripped = head.lstrip()
+    if not stripped.startswith(b"{"):
+        return False
+    newline = stripped.find(b"\n")
+    if newline >= 0:
+        first = stripped[:newline]
+    elif len(head) < _SNIFF_BYTES:
+        first = stripped  # whole file in hand: single-line candidate
+    else:
+        # First line exceeds the window (huge header DPST, or a one-line
+        # multi-GB v1 file we must not read in full): a bounded prefix
+        # scan decides.
+        return _HEADER_PREFIX.match(stripped) is not None
+    try:
+        header = json.loads(first.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return False
+    return isinstance(header, dict) and header.get("format") == JSONL_FORMAT
 
 
 def open_trace(path: str, strict: bool = True) -> TraceReader:
@@ -499,20 +622,31 @@ def dump_trace(trace: Trace, path: str, format: str = "auto") -> None:
     """Write a trace to *path*.
 
     ``format="auto"`` (default) picks v2 JSONL for ``.jsonl`` / ``.ndjson``
-    paths and the legacy v1 monolithic JSON otherwise; ``"jsonl"`` and
+    paths, binary columnar v3 for ``.trc`` / ``.v3`` paths, and the legacy
+    v1 monolithic JSON otherwise; ``"jsonl"``, ``"columnar"``, and
     ``"json"`` force a variant.
     """
     if format == "auto":
         suffix = os.path.splitext(os.fspath(path))[1].lower()
-        format = "jsonl" if suffix in (".jsonl", ".ndjson") else "json"
+        if suffix in (".jsonl", ".ndjson"):
+            format = "jsonl"
+        elif suffix in (".trc", ".v3"):
+            format = "columnar"
+        else:
+            format = "json"
     if format == "jsonl":
         dump_trace_jsonl(trace, path)
+    elif format == "columnar":
+        from repro.trace.columnar import dump_trace_columnar
+
+        dump_trace_columnar(trace, path)
     elif format == "json":
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(trace_to_dict(trace), handle)
     else:
         raise TraceError(
-            f"unknown trace format {format!r} (expected 'auto', 'json' or 'jsonl')"
+            f"unknown trace format {format!r} "
+            "(expected 'auto', 'json', 'jsonl' or 'columnar')"
         )
 
 

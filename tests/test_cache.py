@@ -1,0 +1,249 @@
+"""The content-addressed result cache: keys, storage, session integration."""
+
+import json
+import os
+
+import pytest
+
+from repro import CheckSession, TaskProgram, run_program
+from repro.cache import (
+    CACHE_SCHEMA,
+    ResultCache,
+    checker_cache_token,
+    file_digest,
+    normalized_report_copy,
+    result_cache_key,
+    trace_digest,
+)
+from repro.checker import OptAtomicityChecker
+from repro.obs import MetricsRecorder
+from repro.report import report_to_dict
+from repro.trace.serialize import dump_trace
+
+
+def _rmw(ctx):
+    value = ctx.read("X")
+    ctx.write("X", value + 1)
+
+
+def buggy_body(ctx):
+    ctx.write("X", 0)
+    ctx.spawn(_rmw)
+    ctx.spawn(_rmw)
+    ctx.sync()
+
+
+@pytest.fixture
+def trace():
+    return run_program(TaskProgram(buggy_body), record_trace=True).trace
+
+
+def report_bytes(report):
+    return json.dumps(report_to_dict(report), sort_keys=True)
+
+
+class TestDigests:
+    def test_trace_digest_is_deterministic(self, trace):
+        assert trace_digest(trace) == trace_digest(trace)
+
+    def test_trace_digest_sees_every_event(self, trace):
+        from repro.trace.trace import Trace
+
+        truncated = Trace(trace.events[:-1], dpst=trace.dpst)
+        assert trace_digest(truncated) != trace_digest(trace)
+
+    def test_file_digest_tracks_content(self, trace, tmp_path):
+        a = str(tmp_path / "a.jsonl")
+        b = str(tmp_path / "b.jsonl")
+        dump_trace(trace, a, format="jsonl")
+        dump_trace(trace, b, format="jsonl")
+        assert file_digest(a) == file_digest(b)
+        with open(b, "a", encoding="utf-8") as handle:
+            handle.write("\n")
+        assert file_digest(a) != file_digest(b)
+
+
+class TestCheckerToken:
+    def test_string_specs_are_cacheable(self):
+        assert checker_cache_token("optimized") == "optimized"
+
+    def test_kwargs_fold_into_the_token(self):
+        plain = checker_cache_token("optimized")
+        thorough = checker_cache_token("optimized", {"mode": "thorough"})
+        assert thorough is not None and thorough != plain
+
+    def test_class_and_instance_specs_are_not(self):
+        assert checker_cache_token(OptAtomicityChecker) is None
+        assert checker_cache_token(OptAtomicityChecker()) is None
+
+    def test_unserializable_kwargs_are_not(self):
+        assert checker_cache_token("optimized", {"hook": object()}) is None
+
+
+class TestKey:
+    def test_every_component_changes_the_key(self):
+        base = dict(
+            trace_digest="d1", checker_token="optimized",
+            engine="lca", prefilter=False, strict=True,
+        )
+        key = result_cache_key(**base)
+        for field, other in (
+            ("trace_digest", "d2"),
+            ("checker_token", "basic"),
+            ("engine", "depa"),
+            ("prefilter", True),
+            ("strict", False),
+        ):
+            varied = dict(base)
+            varied[field] = other
+            assert result_cache_key(**varied) != key, field
+
+
+class TestStore:
+    def test_store_then_load(self, trace, tmp_path):
+        report = CheckSession(trace).check()
+        cache = ResultCache(str(tmp_path / "rc"))
+        key = "ab" * 32
+        nbytes = cache.store(key, report, meta={"checker": "optimized"})
+        entry = cache.load(key)
+        assert entry is not None
+        assert entry.nbytes == nbytes
+        assert entry.meta == {"checker": "optimized"}
+        assert report_bytes(entry.report) == report_bytes(report)
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        assert ResultCache(str(tmp_path / "rc")).load("cd" * 32) is None
+
+    def test_damaged_entry_is_a_miss(self, trace, tmp_path):
+        cache = ResultCache(str(tmp_path / "rc"))
+        key = "ef" * 32
+        cache.store(key, CheckSession(trace).check())
+        path = cache._path(key)
+        open(path, "w").write("{torn write")
+        assert cache.load(key) is None
+
+    def test_foreign_schema_is_a_miss(self, trace, tmp_path):
+        cache = ResultCache(str(tmp_path / "rc"))
+        key = "01" * 32
+        cache.store(key, CheckSession(trace).check())
+        path = cache._path(key)
+        data = json.loads(open(path).read())
+        data["schema"] = CACHE_SCHEMA + "-future"
+        open(path, "w").write(json.dumps(data))
+        assert cache.load(key) is None
+
+
+class TestNormalizedCopy:
+    def test_jobs_layout_insensitive(self, trace):
+        sequential = CheckSession(trace, jobs=1).check()
+        sharded = CheckSession(trace, jobs=4).check()
+        assert report_bytes(normalized_report_copy(sequential)) == report_bytes(
+            normalized_report_copy(sharded)
+        )
+
+    def test_raw_count_preserved(self, trace):
+        report = CheckSession(trace).check()
+        assert normalized_report_copy(report).raw_count == report.raw_count
+
+
+class TestSessionIntegration:
+    def test_miss_then_hit_byte_identical(self, trace, tmp_path):
+        cache_dir = str(tmp_path / "rc")
+        first = CheckSession(trace)
+        fresh = first.check(cache_dir=cache_dir)
+        assert first.cache_info["applied"] and not first.cache_info["hit"]
+        second = CheckSession(trace, jobs=4)
+        served = second.check(cache_dir=cache_dir)
+        assert second.cache_info["hit"]
+        assert second.cache_info["key"] == first.cache_info["key"]
+        assert report_bytes(served) == report_bytes(fresh)
+
+    def test_file_sources_hit_too(self, trace, tmp_path):
+        path = str(tmp_path / "t.trc")
+        dump_trace(trace, path, format="columnar")
+        cache_dir = str(tmp_path / "rc")
+        CheckSession(path).check(cache_dir=cache_dir)
+        session = CheckSession(path)
+        session.check(cache_dir=cache_dir)
+        assert session.cache_info["hit"]
+
+    def test_metrics(self, trace, tmp_path):
+        cache_dir = str(tmp_path / "rc")
+        miss = MetricsRecorder()
+        CheckSession(trace, recorder=miss).check(cache_dir=cache_dir)
+        counters = miss.snapshot().counters
+        assert counters["cache.miss"] == 1
+        assert counters["cache.bytes"] > 0
+        assert "cache.hit" not in counters
+        hit = MetricsRecorder()
+        CheckSession(trace, recorder=hit).check(cache_dir=cache_dir)
+        counters = hit.snapshot().counters
+        assert counters["cache.hit"] == 1
+        assert counters["cache.bytes"] > 0
+        assert "cache.miss" not in counters
+
+    def test_no_cache_dir_means_no_cache_info(self, trace):
+        session = CheckSession(trace)
+        session.check()
+        assert session.cache_info is None
+
+    def test_engine_is_part_of_the_key(self, trace, tmp_path):
+        cache_dir = str(tmp_path / "rc")
+        CheckSession(trace, engine="lca").check(cache_dir=cache_dir)
+        session = CheckSession(trace, engine="depa")
+        session.check(cache_dir=cache_dir)
+        assert session.cache_info["applied"]
+        assert not session.cache_info["hit"]
+
+    def test_checker_kwargs_are_part_of_the_key(self, trace, tmp_path):
+        cache_dir = str(tmp_path / "rc")
+        CheckSession(trace).check(cache_dir=cache_dir)
+        session = CheckSession(trace)
+        session.check(cache_dir=cache_dir, mode="thorough")
+        assert session.cache_info["applied"]
+        assert not session.cache_info["hit"]
+        # ... and the kwargs variant caches under its own key.
+        repeat = CheckSession(trace)
+        repeat.check(cache_dir=cache_dir, mode="thorough")
+        assert repeat.cache_info["hit"]
+
+
+class TestBypasses:
+    def test_instance_spec_bypasses(self, trace, tmp_path):
+        session = CheckSession(trace, checker=OptAtomicityChecker())
+        session.check(cache_dir=str(tmp_path / "rc"))
+        info = session.cache_info
+        assert info["requested"] and not info["applied"]
+        assert "not content-addressable" in info["reason"]
+
+    def test_prefilter_request_bypasses(self, tmp_path):
+        session = CheckSession(TaskProgram(buggy_body))
+        session.check(
+            cache_dir=str(tmp_path / "rc"), static_prefilter=buggy_body
+        )
+        info = session.cache_info
+        assert not info["applied"]
+        assert "prefilter" in info["reason"]
+
+    def test_nontrivial_annotations_bypass(self, trace, tmp_path):
+        from repro.checker.annotations import AtomicAnnotations
+
+        session = CheckSession(
+            trace, annotations=AtomicAnnotations().annotate("X")
+        )
+        session.check(cache_dir=str(tmp_path / "rc"))
+        assert not session.cache_info["applied"]
+        assert "annotations" in session.cache_info["reason"]
+
+    def test_bypass_counts_a_metric(self, trace, tmp_path):
+        recorder = MetricsRecorder()
+        session = CheckSession(
+            trace, checker=OptAtomicityChecker(), recorder=recorder
+        )
+        session.check(cache_dir=str(tmp_path / "rc"))
+        assert recorder.snapshot().counters["cache.bypass"] == 1
+
+    def test_bypassed_check_still_reports(self, trace, tmp_path):
+        session = CheckSession(trace, checker=OptAtomicityChecker())
+        report = session.check(cache_dir=str(tmp_path / "rc"))
+        assert set(report.locations()) == {"X"}

@@ -59,6 +59,8 @@ def test_clean_seeds_agree_across_the_matrix():
         assert "prefilter" in outcome.verdicts
         assert "prefilter-poisoned" in outcome.verdicts
         assert "replay" in outcome.verdicts
+        assert "columnar" in outcome.verdicts
+        assert "cached" in outcome.verdicts
         assert "basic" in outcome.verdicts
         assert "paper-mode" in outcome.verdicts
         assert "schedule:random" in outcome.verdicts
@@ -66,6 +68,8 @@ def test_clean_seeds_agree_across_the_matrix():
         assert "prefilter" in outcome.notes
         assert "proven=" in outcome.notes["prefilter"]
         assert "poisoned=" in outcome.notes["prefilter"]
+        # Neither are cache decisions: the cached leg must actually hit.
+        assert "hit=True" in outcome.notes["cached"]
 
 
 def test_poisoned_prefilter_leg_filters_partially():

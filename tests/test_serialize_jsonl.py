@@ -10,10 +10,13 @@ from repro.runtime.events import MemoryEvent
 from repro.trace.serialize import (
     TraceReader,
     TraceWriter,
+    decode_location,
     dump_trace,
     dump_trace_jsonl,
+    encode_location,
     is_jsonl_trace,
     load_trace,
+    location_shard_key,
     open_trace,
 )
 
@@ -271,6 +274,192 @@ class TestLenientReader:
             collected.extend(reader_pass.memory_events(shard=shard, jobs=2))
             assert reader_pass.lines_skipped == 1
         assert len(collected) == len(trace.memory_events())
+
+
+class TestSniffingRobustness:
+    """Sniffing parses the header, never matches an exact byte rendering."""
+
+    def header_variants(self, trace, tmp_path):
+        reference = tmp_path / "ref.jsonl"
+        dump_trace_jsonl(trace, str(reference))
+        lines = reference.read_text().splitlines()
+        header = json.loads(lines[0])
+        return header, lines[1:]
+
+    def write(self, tmp_path, name, header_text, body):
+        path = tmp_path / name
+        path.write_text("\n".join([header_text] + body) + "\n")
+        return str(path)
+
+    def test_compact_separators(self, trace, tmp_path):
+        header, body = self.header_variants(trace, tmp_path)
+        path = self.write(
+            tmp_path, "compact.jsonl",
+            json.dumps(header, separators=(",", ":")), body,
+        )
+        assert is_jsonl_trace(path)
+        assert len(load_trace(path)) == len(trace)
+
+    def test_reordered_keys(self, trace, tmp_path):
+        header, body = self.header_variants(trace, tmp_path)
+        reordered = {
+            key: header[key]
+            for key in sorted(header, reverse=True)  # format key last
+        }
+        path = self.write(
+            tmp_path, "reordered.jsonl", json.dumps(reordered), body
+        )
+        assert is_jsonl_trace(path)
+        assert len(load_trace(path)) == len(trace)
+
+    def test_spaced_and_indented_header(self, trace, tmp_path):
+        header, body = self.header_variants(trace, tmp_path)
+        spaced = json.dumps(header, separators=(" , ", " : "))
+        path = self.write(tmp_path, "spaced.jsonl", spaced, body)
+        assert is_jsonl_trace(path)
+
+    def test_leading_whitespace(self, trace, tmp_path):
+        header, body = self.header_variants(trace, tmp_path)
+        path = self.write(tmp_path, "padded.jsonl", "  " + json.dumps(header), body)
+        assert is_jsonl_trace(path)
+
+    def test_json_lookalikes_are_rejected(self, tmp_path):
+        cases = {
+            "empty.jsonl": "",
+            "other.jsonl": '{"format": "not-a-trace", "version": 2}\n',
+            "report.jsonl": '{"schema": "repro-report/1"}\n',
+            "string.jsonl": '"repro-trace"\n',
+            "garbage.jsonl": "{not json\n",
+        }
+        for name, content in cases.items():
+            path = tmp_path / name
+            path.write_text(content)
+            assert not is_jsonl_trace(str(path)), name
+
+    def test_missing_file(self, tmp_path):
+        assert not is_jsonl_trace(str(tmp_path / "absent.jsonl"))
+
+
+class TestUnparsableFiles:
+    """Satellite: broken inputs raise TraceError naming the file, never a
+    raw json.JSONDecodeError out of the reader's guts."""
+
+    @pytest.mark.parametrize(
+        "name,content",
+        [
+            ("empty.json", b""),
+            ("truncated.json", b'{"events": [{"type": "Mem'),
+            ("binary.json", b"\x00\x01\x02\x03 not a trace \xff"),
+            ("text.json", b"just some prose, no JSON here\n"),
+        ],
+    )
+    def test_trace_reader_wraps_parse_failures(self, tmp_path, name, content):
+        path = tmp_path / name
+        path.write_bytes(content)
+        with pytest.raises(TraceError) as err:
+            TraceReader(str(path))
+        assert name in str(err.value)
+
+    def test_load_trace_wraps_too(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_bytes(b"")
+        with pytest.raises(TraceError):
+            load_trace(str(path))
+
+    def test_jsonl_with_broken_header_names_the_file(self, tmp_path):
+        # Sniffed as v2 by prefix, but the header line is cut short.
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"format": "repro-trace", "version": 2, "dp')
+        with pytest.raises(TraceError) as err:
+            TraceReader(str(path))
+        assert "torn.jsonl" in str(err.value)
+
+
+class TestWriterCrashSafety:
+    """Satellite: the v2 writer publishes via a temp sibling, so a crash
+    mid-recording never leaves a truncated file at the target path."""
+
+    def test_nothing_at_target_until_close(self, trace, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        writer = TraceWriter(path, dpst=trace.dpst)
+        writer.write_all(trace.events)
+        import os
+
+        assert not os.path.exists(path)
+        writer.close()
+        assert os.path.exists(path)
+        assert os.listdir(tmp_path) == ["t.jsonl"]  # temp sibling gone
+
+    def test_context_manager_discards_on_error(self, trace, tmp_path):
+        import os
+
+        path = str(tmp_path / "t.jsonl")
+        with pytest.raises(RuntimeError):
+            with TraceWriter(path, dpst=trace.dpst) as writer:
+                writer.write_all(trace.events)
+                raise RuntimeError("recording failed")
+        assert os.listdir(tmp_path) == []
+
+    def test_bad_chunk_size_leaves_no_file(self, tmp_path):
+        import os
+
+        with pytest.raises(TraceError):
+            TraceWriter(str(tmp_path / "t.jsonl"), chunk_size=-1)
+        assert os.listdir(tmp_path) == []
+
+    def test_discard_is_idempotent(self, tmp_path):
+        import os
+
+        writer = TraceWriter(str(tmp_path / "t.jsonl"))
+        writer.discard()
+        writer.discard()
+        assert os.listdir(tmp_path) == []
+
+
+class TestLocationRoundTrip:
+    """Satellite: the location codec and shard key over the full
+    vocabulary, including the == / hash collision cases."""
+
+    VOCABULARY = [
+        "x", "", 0, 1, -7, 1.0, 0.5, True, False, None,
+        ("cell", 3), ("a", ("b", ("c",))), (), ("f", 0.25, None, False),
+    ]
+
+    @pytest.mark.parametrize("location", VOCABULARY, ids=repr)
+    def test_encode_decode_identity(self, location):
+        decoded = decode_location(encode_location(location))
+        assert repr(decoded) == repr(location)  # type-exact, not just ==
+
+    def test_shard_key_is_repr_stable(self):
+        import zlib as _zlib
+
+        for location in self.VOCABULARY:
+            assert location_shard_key(location) == _zlib.crc32(
+                repr(location).encode("utf-8")
+            )
+
+    def test_colliding_locations_get_distinct_keys(self):
+        # 1 == 1.0 == True under Python equality; the shard key (and the
+        # columnar interner) must still tell them apart.
+        keys = {location_shard_key(loc) for loc in (1, 1.0, True)}
+        assert len(keys) == 3
+
+    def test_shard_key_agrees_across_formats(self, trace, tmp_path):
+        # The stamped "sk" value in v2 files is exactly location_shard_key.
+        path = str(tmp_path / "t.jsonl")
+        dump_trace_jsonl(trace, path)
+        for line in open(path).read().splitlines()[1:]:
+            row = json.loads(line)
+            if row["type"] != "MemoryEvent":
+                continue
+            location = decode_location(row["location"])
+            assert row["sk"] == location_shard_key(location)
+
+    def test_unserializable_location_rejected(self):
+        with pytest.raises(TraceError):
+            encode_location({"dict": "not allowed"})
+        with pytest.raises(TraceError):
+            decode_location({"neither": "tag"})
 
 
 class TestReaderLifecycle:
