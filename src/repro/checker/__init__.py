@@ -17,6 +17,14 @@ Three analyses, all consuming runtime events as
   builds the transactional happens-before graph of the *observed trace*
   and reports cycles.  Trace-sensitive by design, which is exactly the
   contrast the paper's Figure 13 draws.
+* :class:`~repro.checker.regiontrack.RegionTrackChecker` -- sound *and*
+  complete trace-level baseline (RegionTrack, arXiv:2008.04479):
+  constant-size per-region summaries instead of full histories; the
+  complete anchor of the fuzz oracle's precision sandwich.
+* :class:`~repro.checker.streaming.StreamingChecker` -- windowed online
+  wrapper: consumes events one at a time (live or from a TraceReader
+  stream) and compacts dead metadata every ``window`` events, bounding
+  peak memory by the window instead of the trace.
 """
 
 from repro.errors import CheckerError
@@ -35,6 +43,8 @@ from repro.checker.optimized import OptAtomicityChecker
 from repro.checker.velodrome import VelodromeChecker
 from repro.checker.racedetector import RaceDetector, RaceReport
 from repro.checker.exploring import ExploringVelodrome
+from repro.checker.regiontrack import RegionTrackChecker
+from repro.checker.streaming import DEFAULT_WINDOW, StreamingChecker
 
 __all__ = [
     "AccessEntry",
@@ -52,6 +62,9 @@ __all__ = [
     "RaceDetector",
     "RaceReport",
     "ExploringVelodrome",
+    "RegionTrackChecker",
+    "StreamingChecker",
+    "DEFAULT_WINDOW",
     "CHECKER_FACTORIES",
     "UnknownCheckerError",
     "make_checker",
@@ -66,6 +79,8 @@ CHECKER_FACTORIES = {
     "velodrome": VelodromeChecker,
     "racedetector": RaceDetector,
     "velodrome+explorer": ExploringVelodrome,
+    "regiontrack": RegionTrackChecker,
+    "streaming": StreamingChecker,
 }
 
 
@@ -83,7 +98,8 @@ def make_checker(checker="optimized", **kwargs):
     Accepted forms:
 
     * a registered name -- ``"basic"`` | ``"optimized"`` | ``"velodrome"``
-      | ``"racedetector"`` | ``"velodrome+explorer"``;
+      | ``"racedetector"`` | ``"velodrome+explorer"`` | ``"regiontrack"``
+      | ``"streaming"``;
     * a :class:`~repro.runtime.observer.RuntimeObserver` subclass, which is
       instantiated with ``**kwargs``;
     * a pre-built observer instance, returned as-is (``kwargs`` must then

@@ -285,3 +285,29 @@ class LocalSpace:
             (cell.read is not None) + (cell.write is not None)
             for cell in self._cells.values()
         )
+
+    def cell_count(self) -> int:
+        """Number of live cells (one per location this task has touched)."""
+        return len(self._cells)
+
+    def evict_stale(self) -> int:
+        """Drop every cell stamped with an older step than the task's newest.
+
+        A task's step ids strictly increase over its execution (DPST node
+        ids are allocated in creation order), so any cell whose step is not
+        the maximum across this space is *stale*: :meth:`cell_for` would
+        replace it with a fresh empty cell on the task's next access to
+        that location, and no checker code path ever reads another task's
+        cells.  Evicting stale cells is therefore observationally invisible
+        -- it is the compaction primitive behind
+        :class:`repro.checker.streaming.StreamingChecker`.
+
+        Returns the number of cells evicted.
+        """
+        if len(self._cells) <= 1:
+            return 0
+        newest = max(cell.step for cell in self._cells.values())
+        stale = [key for key, cell in self._cells.items() if cell.step != newest]
+        for key in stale:
+            del self._cells[key]
+        return len(stale)

@@ -325,6 +325,48 @@ class OptAtomicityChecker(RuntimeObserver):
             )
         )
 
+    # -- streaming compaction protocol ----------------------------------------------
+
+    def compact(self) -> int:
+        """Evict provably dead local metadata; return the number of cells dropped.
+
+        A cell is dead when its step is older than the newest step its task
+        has a cell for: step ids strictly increase within a task, so
+        :meth:`~repro.checker.metadata.LocalSpace.cell_for` would replace
+        such a cell on the task's next touch anyway, and no check path ever
+        consults another task's cells.  Compaction therefore never changes
+        a verdict -- ``tests/test_streaming_property.py`` pins
+        compact-after-every-event ≡ compact-never.  The global spaces are
+        *not* touched: future accesses check against them, and they are
+        fixed-size per location in ``paper`` mode.
+
+        This method is the compaction protocol
+        :class:`repro.checker.streaming.StreamingChecker` requires of its
+        inner checker.
+        """
+        evicted = 0
+        emptied = []
+        for task_id, local in self._ls.items():
+            evicted += local.evict_stale()
+            if not local.cell_count():
+                emptied.append(task_id)
+        for task_id in emptied:
+            del self._ls[task_id]
+        return evicted
+
+    def release_task(self, task_id: int) -> int:
+        """Drop all local metadata of a *finished* task; return cells dropped.
+
+        Safe once the task's end event has been observed: a finished task
+        performs no further accesses, so its cells can never be read again.
+        Part of the streaming compaction protocol (the wrapper calls this
+        for tasks whose ``TaskEndEvent`` fell inside the window).
+        """
+        local = self._ls.pop(task_id, None)
+        if local is None:
+            return 0
+        return local.cell_count()
+
     # -- metadata accounting (ablation ABL-META) ------------------------------------
 
     def total_global_entries(self) -> int:

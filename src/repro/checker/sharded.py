@@ -337,6 +337,8 @@ def check_sharded(
     resume: bool = False,
     strict: Optional[bool] = None,
     start_method: Optional[str] = None,
+    streaming: bool = False,
+    window: Optional[int] = None,
 ) -> ViolationReport:
     """Check *source* with ``jobs`` parallel per-location shards.
 
@@ -395,12 +397,36 @@ def check_sharded(
         Multiprocessing start method override (``"fork"``/``"spawn"``/
         ``"forkserver"``); default prefers fork, and the
         ``REPRO_START_METHOD`` environment variable overrides too.
+    streaming / window:
+        ``streaming=True`` wraps the checker in a
+        :class:`repro.checker.streaming.StreamingChecker` so every shard
+        checks its event stream incrementally with a compaction sweep
+        each *window* events (``None`` -> the default window, ``0`` ->
+        never sweep).  Each worker compacts its own shard; reports stay
+        identical to the offline run at every window.
 
     Returns the merged, deduplicated :class:`ViolationReport`.
     """
     jobs = default_jobs() if jobs is None else jobs
     if jobs < 1:
         raise TraceError(f"jobs must be >= 1, got {jobs}")
+    if window is not None and not streaming:
+        raise CheckerError(
+            "window= only applies to streaming checks; pass "
+            "streaming=True (or drop window=)"
+        )
+    if streaming:
+        from repro.checker.streaming import DEFAULT_WINDOW, StreamingChecker
+
+        if not isinstance(checker, StreamingChecker):
+            checker = StreamingChecker(
+                window=(
+                    DEFAULT_WINDOW
+                    if window is None
+                    else (None if window == 0 else window)
+                ),
+                checker=checker,
+            )
     if skip_locations is not None and not skip_locations:
         skip_locations = None
     collect = recorder is not None and recorder.enabled

@@ -56,7 +56,14 @@ from repro.runtime import (
     run_program,
 )
 
-CHECKER_NAMES = ("optimized", "basic", "velodrome", "racedetector", "velodrome+explorer")
+CHECKER_NAMES = (
+    "optimized",
+    "basic",
+    "velodrome",
+    "racedetector",
+    "velodrome+explorer",
+    "regiontrack",
+)
 
 
 def _load_callable(spec: str) -> Callable[..., Any]:
@@ -420,9 +427,13 @@ def cmd_check_trace(args: argparse.Namespace) -> int:
         # Offline traces carry no program text, so the prefilter flag
         # names the program (MODULE:FUNC) the trace was recorded from.
         prefilter = _load_lint_target(args.static_prefilter)
-    if recorder is None and (args.static_prefilter or args.lenient):
-        # A private recorder so skip counts can be reported even without
-        # --metrics (skipping is never silent).
+    if args.window is not None and not args.streaming:
+        raise SystemExit("--window needs --streaming")
+    if recorder is None and (
+        args.static_prefilter or args.lenient or args.streaming
+    ):
+        # A private recorder so skip/sweep counts can be reported even
+        # without --metrics (skipping and compaction are never silent).
         from repro.obs import MetricsRecorder
 
         recorder = MetricsRecorder()
@@ -439,6 +450,8 @@ def cmd_check_trace(args: argparse.Namespace) -> int:
         shard_timeout=args.shard_timeout,
         start_method=args.start_method,
         cache_dir=args.cache_dir,
+        streaming=args.streaming,
+        window=args.window,
     )
     print(report.describe())
     skipped = session.lines_skipped
@@ -455,8 +468,41 @@ def cmd_check_trace(args: argparse.Namespace) -> int:
         )
     _print_prefilter(session, recorder)
     _print_cache(session)
+    _print_streaming(args, recorder)
     _dump_metrics(recorder if getattr(args, "metrics", None) else None, args)
     return 1 if report else 0
+
+
+def _print_streaming(args: argparse.Namespace, recorder) -> None:
+    """Render a ``--streaming`` run's window/compaction summary.
+
+    One line with the stable ``streaming:`` prefix (filter it, like the
+    ``result cache:`` lines, when diffing reports across modes).
+    """
+    if not getattr(args, "streaming", False):
+        return
+    from repro.checker.streaming import DEFAULT_WINDOW
+
+    window = args.window
+    shown = (
+        "unbounded"
+        if window == 0
+        else str(window if window is not None else DEFAULT_WINDOW)
+    )
+    if recorder is None or not recorder.enabled:
+        print(f"streaming: window={shown}")
+        return
+    counters = recorder.snapshot().counters
+    print(
+        "streaming: window={} -- {} event(s), {} sweep(s), "
+        "{} cell(s) evicted, peak window {}".format(
+            shown,
+            int(counters.get("streaming.events", 0)),
+            int(counters.get("streaming.compactions", 0)),
+            int(counters.get("streaming.evicted", 0)),
+            int(counters.get("streaming.peak_window", 0)),
+        )
+    )
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -886,6 +932,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed result cache: serve this check as a hash "
         "lookup when the same trace/checker/engine was seen before "
         "(bypasses are printed, never silent)",
+    )
+    check_trace.add_argument(
+        "--streaming", action="store_true",
+        help="check incrementally with bounded memory: events stream "
+        "through a windowed checker that compacts dead metadata instead "
+        "of materializing the trace (same report as offline)",
+    )
+    check_trace.add_argument(
+        "--window", type=int, default=None, metavar="N",
+        help="events between streaming compaction sweeps (default: 4096; "
+        "0 = never compact); needs --streaming",
     )
     _add_engine_option(check_trace)
     check_trace.set_defaults(handler=cmd_check_trace)

@@ -32,16 +32,26 @@ leg                  configuration
                      checked twice through one cache directory; the
                      second check must be a *hit* and the served report
                      must equal both the fresh result and the reference
+``streaming-w1``     the streaming checker over the same trace at
+``streaming-w8``     compaction windows 1, 8, 64 and unbounded
+``streaming-w64``    (``window=0``) -- the machine check that windowed
+``streaming-winf``   eviction is observationally invisible at *every*
+                     window, not just the default
 ``basic``            the paper's Figure 3 reference checker
+``regiontrack-``     the sound-and-complete RegionTrack-style baseline
+``precision``        (arXiv:2008.04479): the optimized checker must
+                     implicate exactly the locations the complete
+                     reference does -- the precision half of the oracle
+                     sandwich (velodrome <= optimized <= regiontrack)
 ``paper-mode``       optimized checker in published-pseudocode mode
 ``schedule:*``       fresh executions under other schedules
 ===================  ====================================================
 
-The first five legs replay the *same* trace, so their reports must match
-**triple-for-triple** (:func:`repro.report.normalize_report`).  The
-``basic`` leg must agree on the *locations* implicated
-(:func:`repro.report.normalized_locations`): basic and thorough surface
-the same errors but may pick different witness triples.  ``paper-mode``
+The legs above ``basic`` replay the *same* trace, so their reports must
+match **triple-for-triple** (:func:`repro.report.normalize_report`).
+The ``basic`` and ``regiontrack-precision`` legs must agree on the
+*locations* implicated (:func:`repro.report.normalized_locations`):
+they surface the same errors but may pick different witness triples.  ``paper-mode``
 may under-report only in the documented corner topologies, so its
 locations must be a *subset* of the reference.  The ``schedule:*`` legs
 re-execute the program -- step node ids are schedule-dependent, but the
@@ -96,6 +106,10 @@ def exact_legs(reference: str = "lca") -> Tuple[str, ...]:
         "replay",
         "columnar",
         "cached",
+        "streaming-w1",
+        "streaming-w8",
+        "streaming-w64",
+        "streaming-winf",
     )
 
 
@@ -265,9 +279,23 @@ def check_spec(
     exact("replay", _replay_roundtrip_leg(trace))
     exact("columnar", _columnar_roundtrip_leg(trace))
     exact("cached", _cached_check_leg(trace, spec, seed, outcome))
+    # Streaming at several windows, unbounded included: compaction must
+    # be observationally invisible regardless of sweep cadence.
+    for window, label in (
+        (1, "streaming-w1"),
+        (8, "streaming-w8"),
+        (64, "streaming-w64"),
+        (0, "streaming-winf"),
+    ):
+        exact(label, session.check(streaming=True, window=window, mode="thorough"))
 
     # -- cross-checker legs ----------------------------------------------
     by_locations("basic", session.check("basic"))
+    # Precision against the sound-and-complete baseline: regiontrack
+    # finds every real violation, so any location it implicates that the
+    # optimized checker missed is a completeness bug -- and vice versa, a
+    # location only the optimized checker reports is a false positive.
+    by_locations("regiontrack-precision", session.check("regiontrack"))
     paper = session.check(mode="paper")
     paper_locations = normalized_locations(paper)
     outcome.verdicts["paper-mode"] = paper_locations

@@ -124,6 +124,18 @@ METRIC_NAMES: Dict[str, str] = {
     # velodrome baseline
     "checker.velodrome.edges": "happens-before edges materialized",
     "checker.velodrome.transactions": "transactions on at least one conflict edge",
+    # regiontrack baseline (arXiv:2008.04479)
+    "checker.regiontrack.regions": "per-(location, step) region summaries materialized",
+    "checker.regiontrack.pair_witnesses": "two-access pattern witnesses stored (<=4/region)",
+    "checker.regiontrack.lockset_entries": "distinct-lockset first accesses stored",
+    "checker.regiontrack.triple_checks": "pair/single witnesses tested for an unserializable triple",
+    "checker.regiontrack.memo_hits": "interleaver probes skipped by pair-generation stamps",
+    "checker.regiontrack.tracked_locations": "locations with region summaries",
+    # streaming wrapper (repro.checker.streaming)
+    "streaming.events": "memory events consumed by a streaming checker",
+    "streaming.compactions": "compaction sweeps performed",
+    "streaming.evicted": "dead local cells evicted by sweeps",
+    "streaming.peak_window": "peak live local entries observed at sweep boundaries",
     # race detector
     "checker.racedetector.races": "distinct data races recorded",
     # findings
@@ -183,10 +195,22 @@ METRIC_NAMES: Dict[str, str] = {
 
 #: Counters whose totals legitimately differ between ``jobs=1`` and
 #: ``jobs=N``: per-process memo tables make uniqueness/hop counts local
-#: to each worker.  Everything else in :data:`METRIC_NAMES` that the
-#: offline pipeline emits must total identically regardless of sharding
-#: (enforced by ``tests/test_metrics_sharded.py``).
-SHARD_SENSITIVE_METRICS = frozenset({"engine.unique", "engine.hops"})
+#: to each worker, and streaming compaction cadence is per shard (a shard
+#: holding 1/Nth of the events sweeps at different points than the full
+#: stream, so sweep/eviction/peak totals do not sum -- only
+#: ``streaming.events`` partitions exactly).  Everything else in
+#: :data:`METRIC_NAMES` that the offline pipeline emits must total
+#: identically regardless of sharding (enforced by
+#: ``tests/test_metrics_sharded.py``).
+SHARD_SENSITIVE_METRICS = frozenset(
+    {
+        "engine.unique",
+        "engine.hops",
+        "streaming.compactions",
+        "streaming.evicted",
+        "streaming.peak_window",
+    }
+)
 
 
 def register_engine_metric_names(engine_name: str) -> None:

@@ -41,7 +41,7 @@ from repro.checker.sharded import CheckerSpec, check_sharded, filter_skipped
 from repro.errors import TraceError
 from repro.report import ViolationReport
 from repro.runtime.program import TaskProgram, run_program
-from repro.trace.replay import replay_memory_events
+from repro.trace.replay import replay_events, replay_memory_events
 from repro.trace.serialize import TraceReader, open_trace
 from repro.trace.trace import Trace
 
@@ -223,6 +223,8 @@ class CheckSession:
         shard_timeout: Optional[float] = None,
         start_method: Optional[str] = None,
         cache_dir: Optional[str] = None,
+        streaming: bool = False,
+        window: Optional[int] = None,
         **checker_kwargs: Any,
     ) -> ViolationReport:
         """Run one checker over the source; return (and remember) its report.
@@ -264,14 +266,46 @@ class CheckSession:
         never silently -- for class/instance checker specs, static
         prefilter requests, and non-trivial annotations, since those
         carry state the key cannot see.
+
+        ``streaming=True`` checks incrementally through
+        :class:`repro.checker.streaming.StreamingChecker`: events are
+        consumed one at a time (file sources are never materialized, and
+        the full event stream -- including task ends -- is replayed so
+        finished tasks free their metadata) with a compaction sweep every
+        *window* events.  ``window`` defaults to
+        :data:`repro.checker.streaming.DEFAULT_WINDOW`; ``0`` disables
+        periodic compaction (the ∞ window).  The report is byte-identical
+        to the offline check at every window; only peak memory differs.
+        Requires a compactable checker -- ``velodrome``, ``basic`` and
+        ``regiontrack`` are refused with a
+        :class:`~repro.errors.CheckerError`.
         """
         spec = self.checker if checker is None else checker
         jobs = self.jobs if jobs is None else jobs
         engine = self.engine if engine is None else engine
+        if window is not None and not streaming:
+            from repro.errors import CheckerError
+
+            raise CheckerError(
+                "window= only applies to streaming checks; pass "
+                "streaming=True (or drop window=)"
+            )
         cache_state = self._resolve_cache(
-            cache_dir, spec, checker_kwargs, engine, static_prefilter
+            cache_dir, spec, checker_kwargs, engine, static_prefilter, streaming
         )
-        if checker_kwargs:
+        if streaming:
+            from repro.checker.streaming import DEFAULT_WINDOW, StreamingChecker
+
+            spec = StreamingChecker(
+                window=(
+                    DEFAULT_WINDOW
+                    if window is None
+                    else (None if window == 0 else window)
+                ),
+                checker=spec,
+                **checker_kwargs,
+            )
+        elif checker_kwargs:
             spec = make_checker(spec, **checker_kwargs)
         if cache_state is not None:
             entry = cache_state["cache"].load(cache_state["key"])
@@ -333,6 +367,7 @@ class CheckSession:
         checker_kwargs: Dict[str, Any],
         engine: str,
         static_prefilter: Any,
+        streaming: bool = False,
     ) -> Optional[Dict[str, Any]]:
         """Turn a ``cache_dir=`` request into a ready cache lookup.
 
@@ -356,7 +391,13 @@ class CheckSession:
         }
         self.cache_info = info
         token = checker_cache_token(spec, checker_kwargs)
-        if token is None:
+        if streaming:
+            info["reason"] = (
+                "streaming checks consume the trace incrementally; "
+                "serving (or storing) a cached offline result would "
+                "defeat the bounded-memory contract"
+            )
+        elif token is None:
             info["reason"] = (
                 "checker spec is not content-addressable (pass a "
                 "registered name, not a class or instance, with "
@@ -452,15 +493,26 @@ class CheckSession:
         skip_locations: Optional[frozenset] = None,
     ) -> ViolationReport:
         """jobs=1: stream file sources, replay in-memory ones."""
+        from repro.checker.streaming import StreamingChecker
+
         analysis = make_checker(spec)
-        streaming = self._trace is None and self._reader is not None
-        if streaming:
+        # Streaming checkers get the *full* event stream: task-end events
+        # let the compaction sweep release finished tasks' metadata.
+        # Plain checkers keep the memory-only stream (and its replay
+        # function) they have always had.
+        full_stream = isinstance(analysis, StreamingChecker)
+        file_stream = self._trace is None and self._reader is not None
+        if file_stream:
             # File source: never materialize the event list.
-            events = self._reader.memory_events()
+            events = (
+                self._reader.events()
+                if full_stream
+                else self._reader.memory_events()
+            )
             dpst = self._reader.dpst
             skipped_before = self._reader.lines_skipped
         else:
-            events = self.trace.memory_events()
+            events = self.trace.events if full_stream else self.trace.memory_events()
             dpst = self.trace.dpst
         if skip_locations:
             if self.recorder.enabled:
@@ -468,7 +520,8 @@ class CheckSession:
                     "static.prefilter.locations", len(skip_locations)
                 )
             events = filter_skipped(events, skip_locations, self.recorder)
-        report = replay_memory_events(
+        replay = replay_events if full_stream else replay_memory_events
+        report = replay(
             events,
             analysis,
             dpst=dpst,
@@ -477,7 +530,7 @@ class CheckSession:
             parallel_engine=self.engine if engine is None else engine,
             recorder=self.recorder,
         )
-        if streaming and self.recorder.enabled:
+        if file_stream and self.recorder.enabled:
             skipped = self._reader.lines_skipped - skipped_before
             if skipped:
                 self.recorder.count("trace.lines_skipped", skipped)

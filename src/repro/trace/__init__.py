@@ -16,7 +16,7 @@
 """
 
 from repro.trace.trace import Trace
-from repro.trace.replay import replay_trace, replay_memory_events
+from repro.trace.replay import replay_trace, replay_memory_events, replay_events
 from repro.trace.generator import GeneratorConfig, TraceGenerator
 from repro.trace.explore import (
     InterleavingExplorer,
@@ -47,6 +47,7 @@ __all__ = [
     "Trace",
     "replay_trace",
     "replay_memory_events",
+    "replay_events",
     "GeneratorConfig",
     "TraceGenerator",
     "InterleavingExplorer",

@@ -17,7 +17,15 @@ from repro.dpst.base import DPSTBase
 from repro.dpst.engines import make_engine
 from repro.errors import TraceError
 from repro.report import ViolationReport
-from repro.runtime.events import MemoryEvent
+from repro.runtime.events import (
+    AcquireEvent,
+    MemoryEvent,
+    ReleaseEvent,
+    SyncEvent,
+    TaskBeginEvent,
+    TaskEndEvent,
+    TaskSpawnEvent,
+)
 from repro.runtime.executor import RunContext
 from repro.runtime.observer import RuntimeObserver
 from repro.runtime.shadow import ShadowMemory
@@ -99,6 +107,78 @@ def replay_memory_events(
         checker.on_run_begin(context)
         for event in events:
             checker.on_memory(event)
+        checker.on_run_end(context)
+    report = getattr(checker, "report", None)
+    if not isinstance(report, ViolationReport):
+        raise TraceError(f"{type(checker).__name__} exposes no report")
+    return report
+
+
+def replay_events(
+    events: Iterable[object],
+    checker: RuntimeObserver,
+    dpst: Optional[DPSTBase] = None,
+    annotations: Optional[AtomicAnnotations] = None,
+    lca_cache: bool = True,
+    parallel_engine: str = "lca",
+    recorder=None,
+) -> ViolationReport:
+    """Feed a *full* event stream -- memory, task, sync, lock -- to *checker*.
+
+    :func:`replay_memory_events` is the right call for plain checkers,
+    which only consume memory events.  Streaming checkers additionally
+    want the task lifecycle: a ``TaskEndEvent`` proves a task's local
+    metadata dead, letting the windowed compaction sweep reclaim it (see
+    :class:`repro.checker.streaming.StreamingChecker`).  Each event is
+    dispatched to the matching observer hook; unknown event types are
+    ignored.  ``trace.events.routed`` still counts memory events only, so
+    the counter stays comparable with memory-only replays.
+    """
+    needs_tree = getattr(checker, "requires_lca", checker.requires_dpst)
+    if needs_tree and dpst is None:
+        raise TraceError(
+            f"{type(checker).__name__} needs the producing DPST to replay"
+        )
+    context = _make_context(dpst, annotations, lca_cache, parallel_engine, recorder)
+
+    def drive() -> int:
+        routed = 0
+        on_memory = checker.on_memory
+        for event in events:
+            if isinstance(event, MemoryEvent):
+                on_memory(event)
+                routed += 1
+            elif isinstance(event, TaskEndEvent):
+                checker.on_task_end(event)
+            elif isinstance(event, TaskSpawnEvent):
+                checker.on_task_spawn(event)
+            elif isinstance(event, TaskBeginEvent):
+                checker.on_task_begin(event)
+            elif isinstance(event, SyncEvent):
+                checker.on_sync(event)
+            elif isinstance(event, AcquireEvent):
+                checker.on_acquire(event)
+            elif isinstance(event, ReleaseEvent):
+                checker.on_release(event)
+        return routed
+
+    if recorder is not None and recorder.enabled:
+        from repro.obs import (
+            SPAN_REPLAY,
+            flush_engine_stats,
+            flush_observer_metrics,
+        )
+
+        checker.on_run_begin(context)
+        with recorder.span(SPAN_REPLAY):
+            routed = drive()
+        checker.on_run_end(context)
+        recorder.count("trace.events.routed", routed)
+        flush_observer_metrics(recorder, checker)
+        flush_engine_stats(recorder, context.engine)
+    else:
+        checker.on_run_begin(context)
+        drive()
         checker.on_run_end(context)
     report = getattr(checker, "report", None)
     if not isinstance(report, ViolationReport):

@@ -132,6 +132,59 @@ class TestStore:
         open(path, "w").write(json.dumps(data))
         assert cache.load(key) is None
 
+    @pytest.mark.parametrize(
+        "damage",
+        [
+            pytest.param(lambda path: open(path, "w").close(), id="empty-file"),
+            pytest.param(
+                lambda path: open(path, "wb").write(b"\x00\xff" * 64),
+                id="binary-garbage",
+            ),
+            pytest.param(
+                lambda path: open(path, "w").write(json.dumps([1, 2, 3])),
+                id="non-dict-json",
+            ),
+        ],
+    )
+    def test_more_damage_modes_are_misses(self, trace, tmp_path, damage):
+        cache = ResultCache(str(tmp_path / "rc"))
+        key = "23" * 32
+        cache.store(key, CheckSession(trace).check())
+        damage(cache._path(key))
+        assert cache.load(key) is None
+
+    def test_valid_json_bad_report_payload_is_a_miss(self, trace, tmp_path):
+        """Schema and key line up but the report body does not decode."""
+        cache = ResultCache(str(tmp_path / "rc"))
+        key = "45" * 32
+        cache.store(key, CheckSession(trace).check())
+        path = cache._path(key)
+        data = json.loads(open(path).read())
+        data["report"] = {"violations": "not-a-list"}
+        open(path, "w").write(json.dumps(data))
+        assert cache.load(key) is None
+
+    def test_key_mismatch_is_a_miss(self, trace, tmp_path):
+        """An entry copied to the wrong slot never serves for that key."""
+        cache = ResultCache(str(tmp_path / "rc"))
+        key, other = "67" * 32, "89" * 32
+        cache.store(key, CheckSession(trace).check())
+        os.makedirs(os.path.dirname(cache._path(other)), exist_ok=True)
+        open(cache._path(other), "w").write(open(cache._path(key)).read())
+        assert cache.load(other) is None
+
+    def test_restore_recovers_damaged_entry(self, trace, tmp_path):
+        cache = ResultCache(str(tmp_path / "rc"))
+        key = "ab" * 32
+        report = CheckSession(trace).check()
+        cache.store(key, report)
+        open(cache._path(key), "w").write("{torn write")
+        assert cache.load(key) is None
+        cache.store(key, report)
+        entry = cache.load(key)
+        assert entry is not None
+        assert report_bytes(entry.report) == report_bytes(report)
+
 
 class TestNormalizedCopy:
     def test_jobs_layout_insensitive(self, trace):
@@ -247,3 +300,91 @@ class TestBypasses:
         session = CheckSession(trace, checker=OptAtomicityChecker())
         report = session.check(cache_dir=str(tmp_path / "rc"))
         assert set(report.locations()) == {"X"}
+
+
+# ---------------------------------------------------------------------------
+# Concurrent writers: two processes racing one key must both succeed
+# ---------------------------------------------------------------------------
+
+
+def _race_check_worker(trace_path, cache_dir, out_path):
+    """One racing process: full session check through the shared cache."""
+    from repro import CheckSession
+
+    session = CheckSession(trace_path)
+    report = session.check(cache_dir=cache_dir)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"bytes": report_bytes(report), "hit": session.cache_info["hit"]},
+            handle,
+        )
+
+
+def _hammer_store_worker(trace_path, cache_dir, key, rounds):
+    """Store the same entry *rounds* times; every own reload must hit."""
+    from repro import CheckSession
+    from repro.cache import ResultCache, normalized_report_copy
+
+    report = normalized_report_copy(CheckSession(trace_path).check())
+    expected = report_bytes(report)
+    cache = ResultCache(cache_dir)
+    for _ in range(rounds):
+        cache.store(key, report)
+        entry = cache.load(key)
+        assert entry is not None, "store immediately followed by a miss"
+        assert report_bytes(entry.report) == expected, "torn or foreign read"
+
+
+class TestConcurrentWriters:
+    """The atomic temp-file + ``os.replace`` discipline under real races.
+
+    Readers must never observe a torn entry: every load is either a miss
+    or a complete, byte-identical report, no matter how many writers are
+    replacing the same key at the time.
+    """
+
+    def _start(self, target, args):
+        from repro.checker.sharded import _mp_context
+
+        process = _mp_context().Process(target=target, args=args)
+        process.start()
+        return process
+
+    def _join(self, processes):
+        for process in processes:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+
+    def test_two_sessions_race_one_key(self, trace, tmp_path):
+        trace_path = str(tmp_path / "t.trc")
+        dump_trace(trace, trace_path, format="columnar")
+        cache_dir = str(tmp_path / "rc")
+        outs = [str(tmp_path / f"out{i}.json") for i in range(2)]
+        processes = [
+            self._start(_race_check_worker, (trace_path, cache_dir, out))
+            for out in outs
+        ]
+        self._join(processes)
+        results = [json.load(open(out)) for out in outs]
+        assert results[0]["bytes"] == results[1]["bytes"]
+        # Whatever the interleaving, a later check through the same
+        # directory is a clean hit serving those same bytes.
+        session = CheckSession(trace_path)
+        served = session.check(cache_dir=cache_dir)
+        assert session.cache_info["hit"]
+        assert report_bytes(served) == results[0]["bytes"]
+
+    def test_store_load_hammer(self, trace, tmp_path):
+        trace_path = str(tmp_path / "t.trc")
+        dump_trace(trace, trace_path, format="columnar")
+        cache_dir = str(tmp_path / "rc")
+        key = "cd" * 32
+        processes = [
+            self._start(
+                _hammer_store_worker, (trace_path, cache_dir, key, 100)
+            )
+            for _ in range(2)
+        ]
+        self._join(processes)
+        entry = ResultCache(cache_dir).load(key)
+        assert entry is not None

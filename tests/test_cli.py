@@ -196,6 +196,61 @@ class TestCheckTrace:
         capsys.readouterr()
         assert main(["check-trace", path, "--jobs", "2"]) == 1
 
+    def test_regiontrack_checker(self, trace_file, capsys):
+        code = main(["check-trace", trace_file, "--checker", "regiontrack"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "Atomicity violation" in out and "'X'" in out
+
+
+class TestCheckTraceStreaming:
+    @pytest.fixture
+    def trace_file(self, target_module, tmp_path, capsys):
+        path = str(tmp_path / "t.jsonl")
+        main(["record", f"{target_module}:buggy", "-o", path])
+        capsys.readouterr()
+        return path
+
+    def test_streaming_matches_offline_output(self, trace_file, capsys):
+        offline_code = main(["check-trace", trace_file])
+        offline = capsys.readouterr().out
+        code = main(["check-trace", trace_file, "--streaming", "--window", "8"])
+        out = capsys.readouterr().out
+        assert code == offline_code == 1
+        report_lines = [
+            line for line in out.splitlines() if not line.startswith("streaming:")
+        ]
+        assert "\n".join(report_lines) + "\n" == offline
+
+    def test_status_line_shows_window_and_counters(self, trace_file, capsys):
+        main(["check-trace", trace_file, "--streaming", "--window", "2"])
+        out = capsys.readouterr().out
+        assert "streaming: window=2" in out
+        assert "event(s)" in out and "sweep(s)" in out
+
+    def test_default_and_unbounded_windows(self, trace_file, capsys):
+        main(["check-trace", trace_file, "--streaming"])
+        assert "streaming: window=4096" in capsys.readouterr().out
+        main(["check-trace", trace_file, "--streaming", "--window", "0"])
+        assert "streaming: window=unbounded" in capsys.readouterr().out
+
+    def test_streaming_sharded(self, trace_file, capsys):
+        assert main(
+            ["check-trace", trace_file, "--streaming", "--window", "1",
+             "--jobs", "2"]
+        ) == 1
+
+    def test_window_requires_streaming(self, trace_file, capsys):
+        with pytest.raises(SystemExit, match="--window needs --streaming"):
+            main(["check-trace", trace_file, "--window", "8"])
+
+    def test_streaming_velodrome_refused(self, trace_file, capsys):
+        from repro.errors import CheckerError
+
+        with pytest.raises(CheckerError, match="cannot stream"):
+            main(["check-trace", trace_file, "--streaming",
+                  "--checker", "velodrome"])
+
 
 class TestCheckTraceFaultTolerance:
     @pytest.fixture

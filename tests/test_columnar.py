@@ -348,6 +348,40 @@ class TestCorruption:
         assert reader.lines_skipped == 4
 
 
+class TestStreamingLenientCounting:
+    """Streaming must not disturb the skipped-frame accounting.
+
+    The jobs>1 pipeline counts skipped lines on shard 0 only (every
+    worker re-scans the whole file, so summing would multiply the
+    count); a jobs=1 streaming check counts the reader's delta directly.
+    Both paths must land on the same ``trace.lines_skipped`` total --
+    and on the same report, since both lost the same frame.
+    """
+
+    def damaged(self, trace, tmp_path):
+        helper = TestCorruption()
+        return helper.corrupt_first_frame(helper.dump(trace, tmp_path))
+
+    def checked(self, path, jobs):
+        from repro import CheckSession
+        from repro.obs import MetricsRecorder
+
+        recorder = MetricsRecorder()
+        session = CheckSession(path, jobs=jobs, recorder=recorder, strict=False)
+        report = session.check(streaming=True, window=1)
+        return report, recorder.snapshot().counters
+
+    def test_lines_skipped_equal_across_job_counts(self, trace, tmp_path):
+        from repro.report import normalize_report
+
+        path = self.damaged(trace, tmp_path)
+        report_one, counters_one = self.checked(path, jobs=1)
+        report_four, counters_four = self.checked(path, jobs=4)
+        assert counters_one["trace.lines_skipped"] == 4
+        assert counters_four["trace.lines_skipped"] == 4
+        assert normalize_report(report_four) == normalize_report(report_one)
+
+
 class TestDumpTraceDispatch:
     def test_explicit_format(self, trace, tmp_path):
         path = str(tmp_path / "t.dat")

@@ -1,0 +1,143 @@
+"""RegionTrack baseline: sound and complete, location-for-location.
+
+The checker keeps one constant-size summary per (location, step) region
+instead of the basic checker's unbounded access histories, so the tests
+pin two things: (1) it implicates *exactly* the locations the basic
+checker and the optimized thorough checker do -- on the 36-program suite
+(where the ground truth is written down) and on generated programs --
+and (2) the summaries really are bounded: pair witnesses never exceed
+the four kinds per region, however many accesses repeat.
+"""
+
+import pytest
+
+from repro import CheckSession, TaskProgram, run_program
+from repro.checker import (
+    BasicAtomicityChecker,
+    RegionTrackChecker,
+    checker_name_of,
+    make_checker,
+)
+from repro.fuzz import FuzzConfig, ProgramGenerator, program_from_spec
+from repro.obs import METRIC_NAMES
+from repro.report import normalized_locations
+from repro.runtime.executor import SerialExecutor
+from repro.suite import all_cases
+
+PINNED_SEEDS = [0, 1, 2, 7, 11, 42, 1234]
+
+
+class TestRegistration:
+    def test_factory_name(self):
+        checker = make_checker("regiontrack")
+        assert isinstance(checker, RegionTrackChecker)
+        assert checker_name_of(checker) == "regiontrack"
+
+    def test_capabilities(self):
+        checker = RegionTrackChecker()
+        assert checker.requires_dpst
+        assert checker.location_sharded
+
+    def test_metric_names_registered(self):
+        checker = RegionTrackChecker()
+        result = run_program(
+            TaskProgram(_buggy), observers=[checker]
+        )
+        assert result.report()
+        names = set(checker.metrics())
+        assert names <= set(METRIC_NAMES), names - set(METRIC_NAMES)
+
+
+def _buggy(ctx):
+    def rmw(inner):
+        value = inner.read("X")
+        inner.write("X", value + 1)
+
+    ctx.write("X", 0)
+    ctx.spawn(rmw)
+    ctx.spawn(rmw)
+    ctx.sync()
+
+
+@pytest.mark.parametrize("case", all_cases(), ids=lambda c: c.name)
+def test_suite_agreement(case):
+    """Exactly the expected locations: complete (no misses) and sound
+    (no false positives) on every suite program."""
+    result = run_program(case.build(), observers=[RegionTrackChecker()])
+    assert set(result.report().locations()) == set(case.expected), case.name
+
+
+@pytest.mark.parametrize("seed", PINNED_SEEDS)
+def test_fuzzed_agreement_with_basic_and_optimized(seed):
+    config = FuzzConfig(tasks=8, depth=3, locations=4, seed=seed)
+    spec = ProgramGenerator(config).generate_spec(seed)
+    trace = run_program(
+        program_from_spec(spec), executor=SerialExecutor(), record_trace=True
+    ).trace
+    session = CheckSession(trace)
+    regiontrack = normalized_locations(session.check("regiontrack"))
+    assert regiontrack == normalized_locations(session.check("basic")), seed
+    assert regiontrack == normalized_locations(
+        session.check("optimized", mode="thorough")
+    ), seed
+
+
+class TestSharded:
+    def test_jobs4_equals_jobs1(self):
+        trace = run_program(
+            TaskProgram(_buggy), executor=SerialExecutor(), record_trace=True
+        ).trace
+        one = CheckSession(trace).check("regiontrack")
+        four = CheckSession(trace, jobs=4).check("regiontrack")
+        assert normalized_locations(four) == normalized_locations(one)
+
+
+class TestBoundedSummaries:
+    def test_pair_witnesses_bounded_per_region(self):
+        """1000 repeats of the racy RMW still store at most one pair per
+        kind per region and one lockset entry per distinct lockset."""
+
+        def body(ctx):
+            def rmw(inner):
+                for _ in range(1000):
+                    value = inner.read("X")
+                    inner.write("X", value + 1)
+
+            ctx.spawn(rmw)
+            ctx.spawn(rmw)
+            ctx.sync()
+
+        checker = RegionTrackChecker()
+        run_program(TaskProgram(body), observers=[checker])
+        metrics = checker.metrics()
+        regions = metrics["checker.regiontrack.regions"]
+        assert metrics["checker.regiontrack.pair_witnesses"] <= 4 * regions
+        assert metrics["checker.regiontrack.lockset_entries"] <= 2 * regions
+        assert metrics["checker.accesses_checked"] >= 4000
+        # The repeat probes hit the generation memo, not the region scan.
+        assert metrics["checker.regiontrack.memo_hits"] > 0
+
+    def test_lockset_entries_track_distinct_locksets(self):
+        def body(ctx):
+            def locked(inner):
+                with inner.lock("L"):
+                    inner.write("X", 1)
+                with inner.lock("M"):
+                    inner.write("X", 2)
+                inner.write("X", 3)
+
+            ctx.spawn(locked)
+            ctx.sync()
+
+        checker = RegionTrackChecker()
+        run_program(TaskProgram(body), observers=[checker])
+        # One region, three distinct write locksets ({L}, {M}, {}).
+        assert checker.metrics()["checker.regiontrack.lockset_entries"] == 3
+
+
+def test_refused_as_streaming_inner():
+    from repro.checker import StreamingChecker
+    from repro.errors import CheckerError
+
+    with pytest.raises(CheckerError, match="cannot stream"):
+        StreamingChecker(checker="regiontrack")

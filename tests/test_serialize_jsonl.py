@@ -276,6 +276,40 @@ class TestLenientReader:
         assert len(collected) == len(trace.memory_events())
 
 
+class TestStreamingLenientCounting:
+    """Streaming a damaged v2 file counts skips once, at any job count.
+
+    The v2 analogue of the columnar regression: the jobs>1 pipeline
+    attributes skipped lines to shard 0 only, the jobs=1 streaming check
+    counts the reader's delta, and both must report the same
+    ``trace.lines_skipped`` total and the same verdict.
+    """
+
+    def damaged(self, trace, tmp_path):
+        return TestLenientReader().dump(
+            trace, tmp_path, "{broken json\n", '{"valid": "but not an event"}\n'
+        )
+
+    def checked(self, path, jobs):
+        from repro import CheckSession
+        from repro.obs import MetricsRecorder
+
+        recorder = MetricsRecorder()
+        session = CheckSession(path, jobs=jobs, recorder=recorder, strict=False)
+        report = session.check(streaming=True, window=1)
+        return report, recorder.snapshot().counters
+
+    def test_lines_skipped_equal_across_job_counts(self, trace, tmp_path):
+        from repro.report import normalize_report
+
+        path = self.damaged(trace, tmp_path)
+        report_one, counters_one = self.checked(path, jobs=1)
+        report_four, counters_four = self.checked(path, jobs=4)
+        assert counters_one["trace.lines_skipped"] == 2
+        assert counters_four["trace.lines_skipped"] == 2
+        assert normalize_report(report_four) == normalize_report(report_one)
+
+
 class TestSniffingRobustness:
     """Sniffing parses the header, never matches an exact byte rendering."""
 

@@ -1,0 +1,84 @@
+"""Property-based tests for streaming compaction (hypothesis + pinned seeds).
+
+Two properties, over generator-driven programs (the same shapes the
+runtime builds -- spawns, syncs, nested finishes, locks):
+
+* **Window monotonicity**: shrinking the compaction window never loses a
+  verdict.  The implementation earns something stronger -- the normalized
+  report is *identical* at every window -- and the stronger form is what
+  gets pinned, with the containment stated as an explicit corollary so a
+  future (sound but lossy-metadata) compaction strategy fails the right
+  assertion first.
+
+* **Compaction invisibility**: sweeping after *every* event (window=1,
+  maximal eviction) reports exactly what never sweeping (unbounded
+  window) reports, and both match the offline optimized checker.
+
+Seeds are pinned: failures reproduce byte-for-byte.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import CheckSession
+from repro.fuzz import FuzzConfig, ProgramGenerator, program_from_spec
+from repro.report import normalize_report, normalized_locations
+from repro.runtime.executor import SerialExecutor
+from repro.runtime.program import run_program
+
+PINNED_SEEDS = [0, 1, 2, 7, 11, 42, 1234]
+
+
+def _fuzzed_trace(seed):
+    config = FuzzConfig(tasks=8, depth=3, locations=4, seed=seed)
+    spec = ProgramGenerator(config).generate_spec(seed)
+    result = run_program(
+        program_from_spec(spec), executor=SerialExecutor(), record_trace=True
+    )
+    return result.trace
+
+
+def _streamed(trace, window):
+    return CheckSession(trace).check(
+        streaming=True, window=window, mode="thorough"
+    )
+
+
+@pytest.mark.parametrize("seed", PINNED_SEEDS)
+def test_window_monotone(seed):
+    """Shrinking the window never adds false negatives vs the ∞ window."""
+    trace = _fuzzed_trace(seed)
+    unbounded = _streamed(trace, 0)
+    reference = normalize_report(unbounded)
+    reference_locations = set(normalized_locations(unbounded))
+    for window in (64, 8, 2, 1):
+        windowed = _streamed(trace, window)
+        # The corollary a lossy compactor would break first:
+        assert reference_locations <= set(
+            normalized_locations(windowed)
+        ), (seed, window)
+        # The stronger invariant this compactor actually provides:
+        assert normalize_report(windowed) == reference, (seed, window)
+
+
+@pytest.mark.parametrize("seed", PINNED_SEEDS)
+def test_compaction_invisible(seed):
+    """Compact-after-every-event ≡ compact-never ≡ offline."""
+    trace = _fuzzed_trace(seed)
+    offline = normalize_report(CheckSession(trace).check(mode="thorough"))
+    eager = normalize_report(_streamed(trace, 1))
+    never = normalize_report(_streamed(trace, 0))
+    assert eager == never == offline, seed
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    window=st.integers(min_value=1, max_value=96),
+)
+@settings(max_examples=25, deadline=None)
+def test_any_window_matches_offline(seed, window):
+    """hypothesis sweep: arbitrary (program, window) pairs agree with
+    the offline check -- the shrinker hands back a minimal seed/window."""
+    trace = _fuzzed_trace(seed)
+    offline = normalize_report(CheckSession(trace).check(mode="thorough"))
+    assert normalize_report(_streamed(trace, window)) == offline
